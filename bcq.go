@@ -1,0 +1,209 @@
+// Package bcq is a Go implementation of "Bounded Conjunctive Queries"
+// (Cao, Fan, Wo, Yu — PVLDB 7(12), 2014): deciding whether an SPC
+// (conjunctive) query can be answered by accessing a bounded amount of
+// data under an access schema, and actually answering it that way.
+//
+// An access schema is a set of access constraints X → (Y, N): for every
+// X-value there are at most N distinct corresponding Y-values, retrievable
+// through an index at a cost independent of the database size. Under such
+// a schema, many practical queries are effectively bounded — answerable
+// exactly from a fraction of the data whose size depends only on the query
+// and the schema, never on |D|.
+//
+// The package is a facade over the internal implementation:
+//
+//	cat, acc, _ := bcq.ParseDDL(schemaText)   // relations + access constraints
+//	q, _ := bcq.ParseQuery(queryText, cat)    // SPC query (SQL-ish surface syntax)
+//	a, _ := bcq.Analyze(cat, q, acc)
+//	a.Bounded()                // Theorem 3 / algorithm BCheck
+//	a.EffectivelyBounded()     // Theorem 4 / algorithm EBCheck
+//	a.DominatingParameters(α)  // Section 4.3 / algorithm findDPh
+//	p, _ := a.Plan()           // Section 5.1 / algorithm QPlan
+//	res, _ := bcq.Execute(p, db) // evalDQ: bounded evaluation
+//
+// Databases live in an in-memory storage engine (NewDatabase, Insert,
+// BuildIndexes); the executors report how many tuples they touched, so the
+// boundedness guarantee is observable. See the examples/ directory and
+// DESIGN.md for the full system map.
+package bcq
+
+import (
+	"bcq/internal/baseline"
+	"bcq/internal/core"
+	"bcq/internal/exec"
+	"bcq/internal/plan"
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// Re-exported value types.
+type (
+	// Value is a scalar database value (null, int64 or string).
+	Value = value.Value
+	// Tuple is an ordered list of values.
+	Tuple = value.Tuple
+)
+
+// Null is the null value; Int and Str construct scalars.
+var Null = value.Null
+
+// Int returns an integer value.
+func Int(i int64) Value { return value.Int(i) }
+
+// Str returns a string value.
+func Str(s string) Value { return value.Str(s) }
+
+// ParseValue parses a literal ("null", 42, 'text').
+func ParseValue(s string) (Value, error) { return value.Parse(s) }
+
+// Re-exported schema types.
+type (
+	// Relation is one relation schema.
+	Relation = schema.Relation
+	// Catalog is a relational schema (a set of relation schemas).
+	Catalog = schema.Catalog
+	// AccessConstraint is one constraint X → (Y, N) on a relation.
+	AccessConstraint = schema.AccessConstraint
+	// AccessSchema is a set of access constraints.
+	AccessSchema = schema.AccessSchema
+)
+
+// NewRelation builds a relation schema.
+func NewRelation(name string, attrs ...string) (*Relation, error) {
+	return schema.NewRelation(name, attrs...)
+}
+
+// NewCatalog builds a catalog from relation schemas.
+func NewCatalog(rels ...*Relation) (*Catalog, error) { return schema.NewCatalog(rels...) }
+
+// NewAccessConstraint builds one access constraint X → (Y, N).
+func NewAccessConstraint(rel string, x, y []string, n int64) (AccessConstraint, error) {
+	return schema.NewAccessConstraint(rel, x, y, n)
+}
+
+// NewAccessSchema builds an access schema.
+func NewAccessSchema(constraints ...AccessConstraint) (*AccessSchema, error) {
+	return schema.NewAccessSchema(constraints...)
+}
+
+// ParseDDL parses the schema description language:
+//
+//	relation in_album(photo_id, album_id)
+//	constraint in_album: (album_id) -> (photo_id, 1000)
+func ParseDDL(src string) (*Catalog, *AccessSchema, error) { return schema.ParseDDL(src) }
+
+// Re-exported query types.
+type (
+	// Query is an SPC (conjunctive) query.
+	Query = spc.Query
+	// AttrRef identifies an attribute occurrence S_i[A] of a query.
+	AttrRef = spc.AttrRef
+)
+
+// ParseQuery parses the SQL-ish SPC surface syntax:
+//
+//	select t1.photo_id from in_album as t1, tagging as t3
+//	where t1.album_id = 'a0' and t1.photo_id = t3.photo_id
+//
+// Placeholders ("attr = ?") declare parameterized-query slots.
+func ParseQuery(src string, cat *Catalog) (*Query, error) { return spc.Parse(src, cat) }
+
+// Analysis bundles a validated query with its access schema; all four of
+// the paper's decision algorithms hang off it.
+type Analysis struct {
+	an *core.Analysis
+}
+
+// Re-exported analysis result types.
+type (
+	// BoundedResult answers Bnd(Q, A).
+	BoundedResult = core.BoundedResult
+	// EBResult answers EBnd(Q, A).
+	EBResult = core.EBResult
+	// DPResult answers DP/MDP(Q, A).
+	DPResult = core.DPResult
+	// MBoundedResult answers the M-boundedness question (Section 5.2).
+	MBoundedResult = core.MBoundedResult
+)
+
+// Analyze validates the query against the catalog and prepares the shared
+// machinery (Σ_Q closure, actualized constraints).
+func Analyze(cat *Catalog, q *Query, a *AccessSchema) (*Analysis, error) {
+	an, err := core.NewAnalysis(cat, q, a)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{an: an}, nil
+}
+
+// Bounded decides whether the query is bounded under the access schema
+// (algorithm BCheck, O(|Q|(|A|+|Q|))).
+func (a *Analysis) Bounded() BoundedResult { return a.an.BCheck() }
+
+// EffectivelyBounded decides whether the query is effectively bounded
+// (algorithm EBCheck, O(|Q|(|A|+|Q|))).
+func (a *Analysis) EffectivelyBounded() EBResult { return a.an.EBCheck() }
+
+// DominatingParameters searches for a minimum set of parameters whose
+// instantiation makes the query effectively bounded (heuristic findDPh;
+// the exact problem is NP-complete).
+func (a *Analysis) DominatingParameters(alpha float64) DPResult { return a.an.FindDPh(alpha) }
+
+// ExactMinDominatingParameters solves MDP exactly by exhaustive search;
+// exponential, gated by maxCandidates (0 = default 20).
+func (a *Analysis) ExactMinDominatingParameters(alpha float64, maxCandidates int) (DPResult, error) {
+	return a.an.ExactMinDP(alpha, maxCandidates)
+}
+
+// MBounded decides effective M-boundedness exactly (NP-complete; gated by
+// maxActs, 0 = default 18) and reports the optimal fetch bound.
+func (a *Analysis) MBounded(m int64, maxActs int) (MBoundedResult, error) {
+	return a.an.ExactMBounded(m, maxActs)
+}
+
+// Plan is a bounded query plan.
+type Plan = plan.Plan
+
+// Plan generates a bounded query plan (algorithm QPlan). It fails with a
+// *plan.NotEffectivelyBoundedError when the query is not effectively
+// bounded.
+func (a *Analysis) Plan() (*Plan, error) { return plan.QPlan(a.an) }
+
+// Re-exported storage types.
+type (
+	// Database is the in-memory storage engine.
+	Database = storage.Database
+	// Stats counts storage accesses.
+	Stats = storage.Stats
+)
+
+// NewDatabase creates an empty database over a catalog.
+func NewDatabase(cat *Catalog) *Database { return storage.NewDatabase(cat) }
+
+// Result is a bounded-evaluation answer with access statistics.
+type Result = exec.Result
+
+// Execute runs a bounded plan against a database (evalDQ). The database
+// must have indexes built for the plan's access schema
+// (db.BuildIndexes(acc)).
+func Execute(p *Plan, db *Database) (*Result, error) { return exec.Run(p, db) }
+
+// BaselineResult is a full-data evaluation answer.
+type BaselineResult = baseline.Result
+
+// BaselineOptions configures the conventional evaluators.
+type BaselineOptions = baseline.Options
+
+// ExecuteBaseline evaluates the query over the full database with a
+// conventional hash join — the comparison point for bounded evaluation.
+func ExecuteBaseline(a *Analysis, db *Database, opts BaselineOptions) (*BaselineResult, error) {
+	return baseline.HashJoin(a.an.Closure, db, opts)
+}
+
+// ExecuteBaselineIndexLoop evaluates with an index-nested-loop join
+// (the paper's "MySQL with the indices of A" stand-in).
+func ExecuteBaselineIndexLoop(a *Analysis, db *Database, opts BaselineOptions) (*BaselineResult, error) {
+	return baseline.IndexLoop(a.an.Closure, db, opts)
+}

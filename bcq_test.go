@@ -1,0 +1,222 @@
+package bcq
+
+import (
+	"strings"
+	"testing"
+)
+
+const testDDL = `
+relation in_album(photo_id, album_id)
+relation friends(user_id, friend_id)
+relation tagging(photo_id, tagger_id, taggee_id)
+constraint in_album: (album_id) -> (photo_id, 1000)
+constraint friends: (user_id) -> (friend_id, 5000)
+constraint tagging: (photo_id, taggee_id) -> (tagger_id, 1)
+`
+
+const testQ0 = `
+select t1.photo_id
+from in_album as t1, friends as t2, tagging as t3
+where t1.album_id = 'a0' and t2.user_id = 'u0'
+  and t1.photo_id = t3.photo_id
+  and t3.tagger_id = t2.friend_id and t3.taggee_id = t2.user_id
+`
+
+// buildSocial loads the hand-checkable Example 1 database through the
+// public API only.
+func buildSocial(t *testing.T) (*Catalog, *AccessSchema, *Database) {
+	t.Helper()
+	cat, acc, err := ParseDDL(testDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(cat)
+	ins := func(rel string, vals ...string) {
+		t.Helper()
+		tu := make(Tuple, len(vals))
+		for i, v := range vals {
+			tu[i] = Str(v)
+		}
+		if err := db.Insert(rel, tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("in_album", "p1", "a0")
+	ins("in_album", "p2", "a0")
+	ins("friends", "u0", "f1")
+	ins("tagging", "p1", "f1", "u0")
+	ins("tagging", "p2", "s9", "u0")
+	if err := db.BuildIndexes(acc); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildRowIndexes(acc); err != nil {
+		t.Fatal(err)
+	}
+	return cat, acc, db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cat, acc, db := buildSocial(t)
+	q, err := ParseQuery(testQ0, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Bounded().Bounded {
+		t.Error("Q0 must be bounded")
+	}
+	if !an.EffectivelyBounded().EffectivelyBounded {
+		t.Error("Q0 must be effectively bounded")
+	}
+	p, err := an.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FetchBound.IsUnbounded() || p.FetchBound.Int64() != 7000 {
+		t.Errorf("FetchBound = %v, want the paper's 7000", p.FetchBound)
+	}
+	res, err := Execute(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 || !res.Tuples[0].Equal(Tuple{Str("p1")}) {
+		t.Errorf("answer = %v, want [p1]", res.Tuples)
+	}
+	base, err := ExecuteBaseline(an, db, BaselineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Tuples) != 1 {
+		t.Errorf("baseline answer = %v", base.Tuples)
+	}
+	il, err := ExecuteBaselineIndexLoop(an, db, BaselineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(il.Tuples) != 1 {
+		t.Errorf("index-loop answer = %v", il.Tuples)
+	}
+}
+
+func TestPublicAPIDominatingParameters(t *testing.T) {
+	cat, acc, _ := buildSocial(t)
+	q, err := ParseQuery(`
+		select t1.photo_id
+		from in_album as t1, friends as t2, tagging as t3
+		where t1.album_id = ? and t2.user_id = ?
+		  and t1.photo_id = t3.photo_id
+		  and t3.tagger_id = t2.friend_id and t3.taggee_id = t2.user_id`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.EffectivelyBounded().EffectivelyBounded {
+		t.Fatal("template must not be effectively bounded before instantiation")
+	}
+	dp := an.DominatingParameters(0.5)
+	if !dp.Exists || len(dp.Params) != 3 {
+		t.Fatalf("dominating parameters = %+v", dp)
+	}
+	exact, err := an.ExactMinDominatingParameters(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Exists || len(exact.Params) != len(dp.Params) {
+		t.Errorf("exact %d vs heuristic %d", len(exact.Params), len(dp.Params))
+	}
+}
+
+func TestPublicAPIMBounded(t *testing.T) {
+	cat, acc, _ := buildSocial(t)
+	q, err := ParseQuery(testQ0, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.MBounded(10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EffectivelyBounded || !res.MBounded {
+		t.Errorf("Q0 must be 10000-bounded: %+v", res)
+	}
+	if res.MinFetchBound.IsUnbounded() || res.MinFetchBound.Int64() > 7000 {
+		t.Errorf("optimal bound %v must be ≤ the plan's 7000", res.MinFetchBound)
+	}
+}
+
+func TestPublicAPIValueHelpers(t *testing.T) {
+	v, err := ParseValue("42")
+	if err != nil || v != Int(42) {
+		t.Errorf("ParseValue = %v, %v", v, err)
+	}
+	if Null.String() != "null" {
+		t.Error("Null")
+	}
+	if Str("x").String() != "'x'" {
+		t.Error("Str")
+	}
+}
+
+func TestPublicAPIConstructors(t *testing.T) {
+	r, err := NewRelation("r", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := NewCatalog(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := NewAccessConstraint("r", []string{"a"}, []string{"b"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccessSchema(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("select b from r where a = 1", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.EffectivelyBounded().EffectivelyBounded {
+		t.Error("point query over (a)->(b,7) must be effectively bounded")
+	}
+	p, err := an.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Explain(), "r: (a) -> (b, 7)") {
+		t.Errorf("Explain:\n%s", p.Explain())
+	}
+}
+
+func TestPublicAPIPlanErrorType(t *testing.T) {
+	cat, acc, _ := buildSocial(t)
+	q, err := ParseQuery("select photo_id from in_album", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.Plan(); err == nil {
+		t.Fatal("unbounded query must not plan")
+	} else if !strings.Contains(err.Error(), "plan:") {
+		t.Errorf("error = %v", err)
+	}
+}

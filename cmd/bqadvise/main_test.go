@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestAdviseSocial(t *testing.T) {
+	if err := run("social", 1.0/32, 6, 2000, 2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdviseUnknownDataset(t *testing.T) {
+	if err := run("nope", 1, 0, 0, 1, false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Command bqcheck analyzes an SPC query under an access schema: is it
+// bounded? effectively bounded? if not, which parameters dominate it?
+//
+// Usage:
+//
+//	bqcheck -schema social.ddl -query q0.sql [-alpha 0.9] [-exact]
+//
+// The schema file uses the DDL of bcq.ParseDDL (relation/constraint lines);
+// the query file uses the SQL-ish SPC syntax of bcq.ParseQuery, with
+// "attr = ?" placeholders for parameterized slots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bcq"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "path to the schema DDL file (required)")
+	queryPath := flag.String("query", "", "path to the SPC query file (required)")
+	alpha := flag.Float64("alpha", 0.9, "dominating-parameter ratio bound α ∈ (0, 1]")
+	exact := flag.Bool("exact", false, "also run the exact (exponential) minimum dominating-parameter search")
+	flag.Parse()
+	if *schemaPath == "" || *queryPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*schemaPath, *queryPath, *alpha, *exact); err != nil {
+		fmt.Fprintln(os.Stderr, "bqcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemaPath, queryPath string, alpha float64, exact bool) error {
+	ddl, err := os.ReadFile(schemaPath)
+	if err != nil {
+		return err
+	}
+	cat, acc, err := bcq.ParseDDL(string(ddl))
+	if err != nil {
+		return err
+	}
+	qsrc, err := os.ReadFile(queryPath)
+	if err != nil {
+		return err
+	}
+	q, err := bcq.ParseQuery(string(qsrc), cat)
+	if err != nil {
+		return err
+	}
+	an, err := bcq.Analyze(cat, q, acc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("access schema: %d constraints\n\n", acc.Size())
+
+	b := an.Bounded()
+	switch {
+	case b.Trivial:
+		fmt.Println("bounded:             yes (unsatisfiable: the answer is empty on every database)")
+	case b.Bounded:
+		fmt.Printf("bounded:             yes (≤ %s distinct parameter combinations)\n", b.Bound)
+	default:
+		fmt.Printf("bounded:             no — underivable: %v\n", b.MissingClasses)
+	}
+
+	eb := an.EffectivelyBounded()
+	switch {
+	case eb.EffectivelyBounded:
+		fmt.Println("effectively bounded: yes")
+	default:
+		fmt.Println("effectively bounded: no")
+		if len(eb.MissingClasses) > 0 {
+			fmt.Printf("  parameters not deducible from constants: %v\n", eb.MissingClasses)
+		}
+		if len(eb.UnindexedAtoms) > 0 {
+			fmt.Printf("  atoms whose parameters are not indexed:  %v\n", eb.UnindexedAtoms)
+		}
+	}
+
+	if !eb.EffectivelyBounded {
+		dp := an.DominatingParameters(alpha)
+		if dp.Exists {
+			fmt.Printf("dominating parameters (α = %g): instantiate", alpha)
+			for _, ref := range dp.Params {
+				fmt.Printf(" %s", q.RefString(ref))
+			}
+			fmt.Printf("  (ratio %.2f)\n", dp.Ratio)
+		} else {
+			fmt.Printf("dominating parameters: none — %s\n", dp.Reason)
+		}
+		if exact {
+			res, err := an.ExactMinDominatingParameters(alpha, 0)
+			if err != nil {
+				fmt.Printf("exact MDP: %v\n", err)
+			} else if res.Exists {
+				fmt.Printf("exact minimum: %d parameters", len(res.Params))
+				for _, ref := range res.Params {
+					fmt.Printf(" %s", q.RefString(ref))
+				}
+				fmt.Println()
+			} else {
+				fmt.Printf("exact MDP: none — %s\n", res.Reason)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunQ0(t *testing.T) {
+	if err := run("../../testdata/social.ddl", "../../testdata/q0.sql", 0.9, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQ1WithExact(t *testing.T) {
+	if err := run("../../testdata/social.ddl", "../../testdata/q1.sql", 0.5, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFiles(t *testing.T) {
+	if err := run("nope.ddl", "../../testdata/q0.sql", 0.9, false); err == nil {
+		t.Error("missing schema accepted")
+	}
+	if err := run("../../testdata/social.ddl", "nope.sql", 0.9, false); err == nil {
+		t.Error("missing query accepted")
+	}
+}

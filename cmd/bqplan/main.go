@@ -1,0 +1,69 @@
+// Command bqplan prints the bounded query plan for an effectively bounded
+// SPC query: the fetch steps through the access indices, the per-atom
+// verification strategy, and the worst-case number of tuples the plan can
+// touch on any database satisfying the access schema.
+//
+// Usage:
+//
+//	bqplan -schema social.ddl -query q0.sql [-mbound M]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bcq"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "path to the schema DDL file (required)")
+	queryPath := flag.String("query", "", "path to the SPC query file (required)")
+	mbound := flag.Int64("mbound", 0, "if > 0, also decide effective M-boundedness for this M (exact, exponential)")
+	flag.Parse()
+	if *schemaPath == "" || *queryPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*schemaPath, *queryPath, *mbound); err != nil {
+		fmt.Fprintln(os.Stderr, "bqplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemaPath, queryPath string, mbound int64) error {
+	ddl, err := os.ReadFile(schemaPath)
+	if err != nil {
+		return err
+	}
+	cat, acc, err := bcq.ParseDDL(string(ddl))
+	if err != nil {
+		return err
+	}
+	qsrc, err := os.ReadFile(queryPath)
+	if err != nil {
+		return err
+	}
+	q, err := bcq.ParseQuery(string(qsrc), cat)
+	if err != nil {
+		return err
+	}
+	an, err := bcq.Analyze(cat, q, acc)
+	if err != nil {
+		return err
+	}
+	p, err := an.Plan()
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Explain())
+	if mbound > 0 {
+		res, err := an.MBounded(mbound, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\neffectively %d-bounded: %v (optimal fetch bound over all plans: %s)\n",
+			mbound, res.MBounded, res.MinFetchBound)
+	}
+	return nil
+}

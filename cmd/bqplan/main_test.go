@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunQ0Plan(t *testing.T) {
+	if err := run("../../testdata/social.ddl", "../../testdata/q0.sql", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQ0PlanWithMBound(t *testing.T) {
+	if err := run("../../testdata/social.ddl", "../../testdata/q0.sql", 10000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQ1NotPlannable(t *testing.T) {
+	if err := run("../../testdata/social.ddl", "../../testdata/q1.sql", 0); err == nil {
+		t.Error("template must not be plannable before instantiation")
+	}
+}

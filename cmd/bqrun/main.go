@@ -1,0 +1,139 @@
+// Command bqrun generates one of the built-in datasets, evaluates a query
+// both ways — bounded (evalDQ through the access indices) and conventional
+// (full-data baseline) — and compares answers and data access.
+//
+// Usage:
+//
+//	bqrun -dataset social -scale 0.5 -query q0.sql
+//	bqrun -dataset tfacc -scale 1 -workload       # run the 15-query workload
+//
+// Datasets: social (Example 1), tfacc, mot, tpch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bcq"
+	"bcq/internal/datagen"
+	"bcq/internal/querygen"
+)
+
+func main() {
+	dataset := flag.String("dataset", "social", "dataset: social | tfacc | mot | tpch")
+	scale := flag.Float64("scale", 0.25, "scale factor (the paper varies 2⁻⁵ … 1)")
+	queryPath := flag.String("query", "", "path to an SPC query file")
+	workload := flag.Bool("workload", false, "run the generated 15-query workload instead of -query")
+	budget := flag.Int64("budget", 2_000_000, "baseline tuple budget (0 = unlimited)")
+	flag.Parse()
+
+	if err := run(*dataset, *scale, *queryPath, *workload, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "bqrun:", err)
+		os.Exit(1)
+	}
+}
+
+func pickDataset(name string) (*datagen.Dataset, error) {
+	switch name {
+	case "social":
+		return datagen.Social(), nil
+	case "tfacc":
+		return datagen.TFACC(), nil
+	case "mot":
+		return datagen.MOT(), nil
+	case "tpch":
+		return datagen.TPCH(), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func run(dataset string, scale float64, queryPath string, workload bool, budget int64) error {
+	ds, err := pickDataset(dataset)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("building %s at scale %g ...\n", ds.Name, scale)
+	start := time.Now()
+	db, err := ds.Build(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built |D| = %d tuples in %v\n\n", db.NumTuples(), time.Since(start).Round(time.Millisecond))
+
+	var queries []*bcq.Query
+	switch {
+	case workload:
+		ws, err := querygen.Workload(ds, querygen.Seed)
+		if err != nil {
+			return err
+		}
+		for _, w := range ws {
+			queries = append(queries, w.Query)
+		}
+	case queryPath != "":
+		src, err := os.ReadFile(queryPath)
+		if err != nil {
+			return err
+		}
+		q, err := bcq.ParseQuery(string(src), ds.Catalog)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, q)
+	default:
+		return fmt.Errorf("provide -query FILE or -workload")
+	}
+
+	for _, q := range queries {
+		if err := runOne(ds, db, q, budget); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(ds *datagen.Dataset, db *bcq.Database, q *bcq.Query, budget int64) error {
+	fmt.Printf("== %s\n   %s\n", q.Name, q)
+	an, err := bcq.Analyze(ds.Catalog, q, ds.Access)
+	if err != nil {
+		return err
+	}
+	eb := an.EffectivelyBounded()
+	if !eb.EffectivelyBounded {
+		fmt.Printf("   not effectively bounded (missing %v, unindexed %v); skipping bounded run\n\n",
+			eb.MissingClasses, eb.UnindexedAtoms)
+		return nil
+	}
+	p, err := an.Plan()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := bcq.Execute(p, db)
+	if err != nil {
+		return err
+	}
+	evalTime := time.Since(start)
+	fmt.Printf("   evalDQ:   %5d answers in %8v — fetched %d tuples (|D_Q| = %d, bound %s)\n",
+		len(res.Tuples), evalTime.Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, p.FetchBound)
+
+	start = time.Now()
+	bres, err := bcq.ExecuteBaseline(an, db, bcq.BaselineOptions{Budget: budget})
+	baseTime := time.Since(start)
+	switch {
+	case err != nil:
+		fmt.Printf("   baseline: DNF after %v (%v)\n", baseTime.Round(time.Microsecond), err)
+	default:
+		fmt.Printf("   baseline: %5d answers in %8v — touched %d tuples\n",
+			len(bres.Tuples), baseTime.Round(time.Microsecond), bres.Stats.Total())
+		if len(bres.Tuples) != len(res.Tuples) {
+			return fmt.Errorf("ANSWER MISMATCH on %s: evalDQ %d vs baseline %d", q.Name, len(res.Tuples), len(bres.Tuples))
+		}
+		fmt.Printf("   answers agree ✓\n")
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,90 @@
+// Social search with parameterized queries: the paper's Q1 and Example 9.
+//
+// Q1 is Q0 as a template — the album and user are placeholder slots
+// ("album_id = ?") a user fills in through the UI. The template itself is
+// not bounded: without knowing the album or user, no bounded subset of the
+// data suffices. findDPh identifies a minimum set of slots (the
+// *dominating parameters*) whose instantiation makes the query effectively
+// bounded; the app can then require exactly those fields in the form.
+//
+// Run with: go run ./examples/socialsearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcq"
+	"bcq/internal/datagen"
+)
+
+const q1 = `
+query Q1:
+select t1.photo_id
+from in_album as t1, friends as t2, tagging as t3
+where t1.album_id = ? and t2.user_id = ?
+  and t1.photo_id = t3.photo_id
+  and t3.tagger_id = t2.friend_id
+  and t3.taggee_id = t2.user_id
+`
+
+func main() {
+	ds := datagen.Social()
+	q, err := bcq.ParseQuery(q1, ds.Catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := bcq.Analyze(ds.Catalog, q, ds.Access)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("template:", q)
+	fmt.Println("bounded as-is?            ", an.Bounded().Bounded)
+	fmt.Println("effectively bounded as-is?", an.EffectivelyBounded().EffectivelyBounded)
+	fmt.Println()
+
+	// findDPh (Section 4.3): which slots must the user fill in?
+	dp := an.DominatingParameters(3.0 / 7.0)
+	if !dp.Exists {
+		log.Fatalf("no dominating parameters: %s", dp.Reason)
+	}
+	fmt.Println("dominating parameters (instantiate these to make the query bounded):")
+	for _, ref := range dp.Params {
+		fmt.Printf("  %s\n", q.RefString(ref))
+	}
+	fmt.Printf("ratio |X_P|/parameters = %.2f\n\n", dp.Ratio)
+
+	// The exact (exponential) solver agrees on this instance.
+	exact, err := an.ExactMinDominatingParameters(3.0/7.0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact minimum confirms: %d parameter occurrences\n\n", len(exact.Params))
+
+	// Instantiate the slots — the user picked album 7 and user 12 — and
+	// run the now-bounded query.
+	inst := q.Instantiate(map[bcq.AttrRef]bcq.Value{
+		{Atom: 0, Attr: "album_id"}:  bcq.Int(7),
+		{Atom: 1, Attr: "user_id"}:   bcq.Int(12),
+		{Atom: 2, Attr: "taggee_id"}: bcq.Int(12), // Σ_Q-equal to user_id
+	})
+	ian, err := bcq.Analyze(ds.Catalog, inst, ds.Access)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instantiated:", inst)
+	fmt.Println("effectively bounded now?", ian.EffectivelyBounded().EffectivelyBounded)
+
+	p, err := ian.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := ds.MustBuild(1)
+	res, err := bcq.Execute(p, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answers: %d, fetched %d of %d tuples (bound %s)\n",
+		len(res.Tuples), res.Stats.TuplesFetched, db.NumTuples(), p.FetchBound)
+}

@@ -1,0 +1,81 @@
+// Traffic-accident analytics on the TFACC-shaped dataset.
+//
+// The paper's headline experiment: on a 21.4 GB accident dataset, the
+// bounded plan for a day's accidents joined with vehicles and casualties
+// accesses a few thousand tuples and is three orders of magnitude faster
+// than MySQL. This example runs the same shape of query — "accidents on a
+// given day, their vehicles and the vehicles' drivers" — at several scales
+// and prints the access counts, demonstrating that they do not move while
+// the database grows.
+//
+// Run with: go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bcq"
+	"bcq/internal/datagen"
+)
+
+const daily = `
+query daily_vehicles:
+select a.aid as accident, v.vid as vehicle, d.drv_age_band as driver_age
+from accident as a, vehicle as v, driver as d
+where a.acc_date = 17
+  and v.aid = a.aid
+  and d.vid = v.vid
+  and a.severity = 1
+`
+
+func main() {
+	ds := datagen.TFACC()
+	q, err := bcq.ParseQuery(daily, ds.Catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := bcq.Analyze(ds.Catalog, q, ds.Access)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eb := an.EffectivelyBounded()
+	if !eb.EffectivelyBounded {
+		log.Fatalf("expected effectively bounded; got missing=%v unindexed=%v",
+			eb.MissingClasses, eb.UnindexedAtoms)
+	}
+	p, err := an.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(p.Explain())
+	fmt.Println()
+
+	for _, sf := range []float64{1.0 / 16, 1.0 / 4, 1.0} {
+		db := ds.MustBuild(sf)
+
+		start := time.Now()
+		res, err := bcq.Execute(p, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evalTime := time.Since(start)
+
+		start = time.Now()
+		base, err := bcq.ExecuteBaselineIndexLoop(an, db, bcq.BaselineOptions{ConstIndexOnly: true, Budget: 3_000_000})
+		baseLabel := "DNF"
+		var baseTouched int64
+		if err == nil {
+			baseLabel = time.Since(start).Round(time.Microsecond).String()
+			baseTouched = base.Stats.Total()
+			if len(base.Tuples) != len(res.Tuples) {
+				log.Fatalf("answer mismatch: %d vs %d", len(res.Tuples), len(base.Tuples))
+			}
+		}
+		fmt.Printf("|D| = %7d: evalDQ %4d rows in %8v touching %4d tuples; MySQL-like %s touching %d\n",
+			db.NumTuples(), len(res.Tuples), evalTime.Round(time.Microsecond),
+			res.Stats.TuplesFetched, baseLabel, baseTouched)
+	}
+	fmt.Println("\nevalDQ's tuple count is identical at every scale — that is effective boundedness.")
+}

@@ -1,0 +1,160 @@
+// Package advisor answers the paper's second open problem (Section 7):
+// "given a set of parameterized queries, how to build an optimal access
+// schema under which the queries are effectively bounded". Given a
+// workload and a pool of candidate access constraints (typically mined by
+// package discover), it greedily selects a small subschema that makes as
+// many workload queries as possible effectively bounded, and explains the
+// queries no candidate set can fix.
+//
+// The underlying optimization is set-cover-like and NP-hard (each query
+// needs a *set* of constraints — coverage plus indexedness witnesses — so
+// this is harder than plain set cover); the greedy picks, at each step,
+// the candidate that newly unlocks the most queries, breaking ties toward
+// smaller cardinality bounds (cheaper plans). Because a single constraint
+// rarely unlocks a query by itself, the gain function looks ahead: a
+// candidate's score also counts queries it moves strictly closer to
+// effective boundedness (fewer missing parameter classes / unindexed
+// atoms).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"bcq/internal/core"
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+)
+
+// Advice is the advisor's result.
+type Advice struct {
+	// Schema is the selected access schema.
+	Schema *schema.AccessSchema
+	// Bounded lists queries effectively bounded under Schema, in workload
+	// order; Unbounded lists the rest with the final diagnosis.
+	Bounded   []string
+	Unbounded []Diagnosis
+	// Steps records the greedy selection order with the number of queries
+	// effectively bounded after each pick.
+	Steps []Step
+}
+
+// Step is one greedy pick.
+type Step struct {
+	Constraint schema.AccessConstraint
+	BoundedNow int
+}
+
+// Diagnosis explains why a query stayed unbounded.
+type Diagnosis struct {
+	Query  string
+	Reason string
+}
+
+// Advise selects at most budget constraints from the candidate pool. A
+// zero budget means no limit (stop when no pick helps).
+func Advise(cat *schema.Catalog, queries []*spc.Query, pool []schema.AccessConstraint, budget int) (*Advice, error) {
+	if budget <= 0 {
+		budget = len(pool)
+	}
+	// Deduplicate the pool, keeping the smallest N per (rel, X, Y) shape.
+	type shapeKey struct{ rel, x, y string }
+	bestOf := map[shapeKey]schema.AccessConstraint{}
+	var order []shapeKey
+	for _, ac := range pool {
+		k := shapeKey{ac.Rel, fmt.Sprint(ac.X), fmt.Sprint(ac.Y)}
+		if prev, seen := bestOf[k]; !seen || ac.N < prev.N {
+			if !seen {
+				order = append(order, k)
+			}
+			bestOf[k] = ac
+		}
+	}
+	candidates := make([]schema.AccessConstraint, 0, len(order))
+	for _, k := range order {
+		candidates = append(candidates, bestOf[k])
+	}
+	sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].N < candidates[j].N })
+
+	selected := []schema.AccessConstraint{}
+	chosen := make([]bool, len(candidates))
+
+	evalState := func(acs []schema.AccessConstraint) (boundedCount int, pressure int, err error) {
+		sub, err := schema.NewAccessSchema(acs...)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, q := range queries {
+			an, err := core.NewAnalysis(cat, q, sub)
+			if err != nil {
+				return 0, 0, err
+			}
+			eb := an.EBCheck()
+			if eb.EffectivelyBounded {
+				boundedCount++
+				continue
+			}
+			// Remaining obstacles: lower is closer to bounded.
+			pressure += len(eb.MissingClasses) + len(eb.UnindexedAtoms)
+		}
+		return boundedCount, pressure, nil
+	}
+
+	bounded, pressure, err := evalState(selected)
+	if err != nil {
+		return nil, err
+	}
+
+	advice := &Advice{}
+	for len(selected) < budget {
+		bestIdx, bestBounded, bestPressure := -1, bounded, pressure
+		for i, ac := range candidates {
+			if chosen[i] {
+				continue
+			}
+			b, p, err := evalState(append(selected, ac))
+			if err != nil {
+				return nil, err
+			}
+			if b > bestBounded || (b == bestBounded && p < bestPressure) {
+				bestIdx, bestBounded, bestPressure = i, b, p
+			}
+		}
+		if bestIdx < 0 {
+			break // no candidate helps
+		}
+		chosen[bestIdx] = true
+		selected = append(selected, candidates[bestIdx])
+		bounded, pressure = bestBounded, bestPressure
+		advice.Steps = append(advice.Steps, Step{Constraint: candidates[bestIdx], BoundedNow: bounded})
+	}
+
+	final, err := schema.NewAccessSchema(selected...)
+	if err != nil {
+		return nil, err
+	}
+	advice.Schema = final
+	for _, q := range queries {
+		an, err := core.NewAnalysis(cat, q, final)
+		if err != nil {
+			return nil, err
+		}
+		eb := an.EBCheck()
+		if eb.EffectivelyBounded {
+			advice.Bounded = append(advice.Bounded, q.Name)
+			continue
+		}
+		reason := ""
+		if len(eb.MissingClasses) > 0 {
+			reason = fmt.Sprintf("parameters underivable: %v", eb.MissingClasses)
+		}
+		if len(eb.UnindexedAtoms) > 0 {
+			if reason != "" {
+				reason += "; "
+			}
+			reason += fmt.Sprintf("unindexed atoms: %v", eb.UnindexedAtoms)
+		}
+		advice.Unbounded = append(advice.Unbounded, Diagnosis{Query: q.Name, Reason: reason})
+	}
+	return advice, nil
+}

@@ -1,0 +1,171 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"bcq/internal/core"
+	"bcq/internal/discover"
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+func socialCatalog() *schema.Catalog {
+	return schema.MustCatalog(
+		schema.MustRelation("in_album", "photo_id", "album_id"),
+		schema.MustRelation("friends", "user_id", "friend_id"),
+		schema.MustRelation("tagging", "photo_id", "tagger_id", "taggee_id"),
+	)
+}
+
+func a0Constraints() []schema.AccessConstraint {
+	return []schema.AccessConstraint{
+		schema.MustAccessConstraint("in_album", []string{"album_id"}, []string{"photo_id"}, 1000),
+		schema.MustAccessConstraint("friends", []string{"user_id"}, []string{"friend_id"}, 5000),
+		schema.MustAccessConstraint("tagging", []string{"photo_id", "taggee_id"}, []string{"tagger_id"}, 1),
+	}
+}
+
+// decoys are valid but useless constraints the advisor must not waste
+// budget on.
+func decoys() []schema.AccessConstraint {
+	return []schema.AccessConstraint{
+		schema.MustAccessConstraint("friends", []string{"friend_id"}, []string{"user_id"}, 5000),
+		schema.MustAccessConstraint("tagging", []string{"tagger_id"}, []string{"photo_id"}, 900),
+	}
+}
+
+const q0src = `
+	query Q0:
+	select t1.photo_id
+	from in_album as t1, friends as t2, tagging as t3
+	where t1.album_id = 'a0' and t2.user_id = 'u0'
+	  and t1.photo_id = t3.photo_id
+	  and t3.tagger_id = t2.friend_id and t3.taggee_id = t2.user_id
+`
+
+func TestAdviseFindsA0(t *testing.T) {
+	cat := socialCatalog()
+	q := spc.MustParse(q0src, cat)
+	pool := append(a0Constraints(), decoys()...)
+	adv, err := Advise(cat, []*spc.Query{q}, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Bounded) != 1 {
+		t.Fatalf("Q0 not made effectively bounded: %+v", adv.Unbounded)
+	}
+	// The essential three constraints and nothing more.
+	if adv.Schema.Size() != 3 {
+		t.Errorf("selected %d constraints, want 3:\n%s", adv.Schema.Size(), adv.Schema)
+	}
+	for _, ac := range adv.Schema.Constraints() {
+		if ac.Rel == "friends" && ac.X[0] == "friend_id" {
+			t.Error("decoy selected")
+		}
+	}
+	// The result really is sufficient per EBCheck.
+	an, err := core.NewAnalysis(cat, q, adv.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.EBCheck().EffectivelyBounded {
+		t.Error("advised schema does not make Q0 effectively bounded")
+	}
+}
+
+func TestAdviseRespectsBudget(t *testing.T) {
+	cat := socialCatalog()
+	q := spc.MustParse(q0src, cat)
+	adv, err := Advise(cat, []*spc.Query{q}, append(a0Constraints(), decoys()...), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Schema.Size() > 2 {
+		t.Errorf("budget exceeded: %d", adv.Schema.Size())
+	}
+	if len(adv.Bounded) != 0 {
+		t.Error("Q0 cannot be bounded with only 2 of the 3 needed constraints")
+	}
+	if len(adv.Unbounded) != 1 || adv.Unbounded[0].Reason == "" {
+		t.Errorf("diagnosis missing: %+v", adv.Unbounded)
+	}
+}
+
+func TestAdviseMultiQueryShares(t *testing.T) {
+	cat := socialCatalog()
+	q1 := spc.MustParse(`select t2.friend_id from friends as t2 where t2.user_id = 'u0'`, cat)
+	q2 := spc.MustParse(`select t1.photo_id from in_album as t1 where t1.album_id = 'a0'`, cat)
+	adv, err := Advise(cat, []*spc.Query{q1, q2}, a0Constraints(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Bounded) != 2 {
+		t.Fatalf("both point queries must be bounded: %+v", adv.Unbounded)
+	}
+	if adv.Schema.Size() != 2 {
+		t.Errorf("selected %d constraints, want exactly the 2 needed", adv.Schema.Size())
+	}
+	if len(adv.Steps) != 2 {
+		t.Errorf("steps = %+v", adv.Steps)
+	}
+	if adv.Steps[len(adv.Steps)-1].BoundedNow != 2 {
+		t.Errorf("final step bounded = %d", adv.Steps[len(adv.Steps)-1].BoundedNow)
+	}
+}
+
+func TestAdviseImpossibleQuery(t *testing.T) {
+	cat := socialCatalog()
+	// No constant anywhere: nothing in the pool can help.
+	q := spc.MustParse(`select t1.photo_id from in_album as t1`, cat)
+	adv, err := Advise(cat, []*spc.Query{q}, a0Constraints(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Bounded) != 0 {
+		t.Error("unanchorable query reported bounded")
+	}
+	if len(adv.Unbounded) != 1 || !strings.Contains(adv.Unbounded[0].Reason, "underivable") {
+		t.Errorf("diagnosis = %+v", adv.Unbounded)
+	}
+}
+
+// TestAdviseFromDiscovery wires the two halves together: mine candidates
+// from data, then let the advisor assemble a schema for the workload.
+func TestAdviseFromDiscovery(t *testing.T) {
+	cat := socialCatalog()
+	db := storage.NewDatabase(cat)
+	ins := func(rel string, vals ...string) {
+		t.Helper()
+		tu := make(value.Tuple, len(vals))
+		for i, v := range vals {
+			tu[i] = value.Str(v)
+		}
+		if err := db.Insert(rel, tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		ins("in_album", string(rune('a'+i)), "album"+string(rune('0'+i%2)))
+		ins("friends", "u"+string(rune('0'+i%4)), "f"+string(rune('0'+i)))
+		ins("tagging", string(rune('a'+i)), "f"+string(rune('0'+i)), "u"+string(rune('0'+i%4)))
+	}
+	mined, err := discover.Database(db, discover.Options{MaxN: 100, MaxXSize: 2, SlackFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make([]schema.AccessConstraint, len(mined))
+	for i, d := range mined {
+		pool[i] = d.Constraint
+	}
+	q := spc.MustParse(q0src, cat)
+	adv, err := Advise(cat, []*spc.Query{q}, pool, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Bounded) != 1 {
+		t.Fatalf("Q0 not bounded under mined constraints: %+v", adv.Unbounded)
+	}
+}

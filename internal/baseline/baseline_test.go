@@ -1,0 +1,235 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+func fixtureCatalog() *schema.Catalog {
+	return schema.MustCatalog(
+		schema.MustRelation("r", "id", "grp", "payload"),
+		schema.MustRelation("s", "rid", "tag"),
+	)
+}
+
+func fixtureAccess() *schema.AccessSchema {
+	return schema.MustAccessSchema(
+		schema.MustAccessConstraint("r", []string{"grp"}, []string{"id"}, 100),
+		schema.MustAccessConstraint("s", []string{"rid"}, []string{"tag"}, 10),
+	)
+}
+
+func fixtureDB(t testing.TB, rows int) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase(fixtureCatalog())
+	for i := 0; i < rows; i++ {
+		id := value.Int(int64(i))
+		grp := value.Int(int64(i % 5))
+		if err := db.Insert("r", value.Tuple{id, grp, value.Int(int64(i * 7))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("s", value.Tuple{id, value.Int(int64(i % 3))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.BuildRowIndexes(fixtureAccess()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func closureFor(t testing.TB, src string) *spc.Closure {
+	t.Helper()
+	cl, err := spc.NewClosure(spc.MustParse(src, fixtureCatalog()), fixtureCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestBothEvaluatorsAgree(t *testing.T) {
+	db := fixtureDB(t, 40)
+	queries := []string{
+		"select r.id from r where r.grp = 2",
+		"select r.id, s.tag from r, s where r.id = s.rid and r.grp = 1",
+		"select s.tag from r, s where r.id = s.rid and r.grp = 0 and s.tag = 1",
+		"select exists from r where r.grp = 9",
+		"select r.payload from r where r.id = 3",
+	}
+	for _, src := range queries {
+		cl := closureFor(t, src)
+		a, err := IndexLoop(cl, db, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		b, err := HashJoin(cl, db, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(a.Tuples) != len(b.Tuples) {
+			t.Fatalf("%s: IndexLoop %v != HashJoin %v", src, a.Tuples, b.Tuples)
+		}
+		for i := range a.Tuples {
+			if !a.Tuples[i].Equal(b.Tuples[i]) {
+				t.Fatalf("%s: tuple %d differs: %v vs %v", src, i, a.Tuples[i], b.Tuples[i])
+			}
+		}
+	}
+}
+
+func TestExpectedAnswer(t *testing.T) {
+	db := fixtureDB(t, 10)
+	cl := closureFor(t, "select r.id from r where r.grp = 2")
+	res, err := HashJoin(cl, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// grp = 2 matches ids 2 and 7.
+	want := []value.Tuple{{value.Int(2)}, {value.Int(7)}}
+	if len(res.Tuples) != 2 || !res.Tuples[0].Equal(want[0]) || !res.Tuples[1].Equal(want[1]) {
+		t.Fatalf("answer = %v, want %v", res.Tuples, want)
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	db := fixtureDB(t, 1000)
+	cl := closureFor(t, "select r.id, s.tag from r, s where r.id = s.rid")
+	_, err := HashJoin(cl, db, Options{Budget: 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("HashJoin err = %v, want ErrBudget", err)
+	}
+	_, err = IndexLoop(cl, db, Options{Budget: 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("IndexLoop err = %v, want ErrBudget", err)
+	}
+}
+
+func TestBudgetScalesWithData(t *testing.T) {
+	// The baselines' work grows with |D| even for a constant query: the
+	// same budget that suffices at small scale fails at large scale.
+	cl := closureFor(t, "select r.id from r where r.grp = 2")
+	small := fixtureDB(t, 20)
+	if _, err := HashJoin(cl, small, Options{Budget: 100}); err != nil {
+		t.Fatalf("small db exceeded budget: %v", err)
+	}
+	big := fixtureDB(t, 5000)
+	if _, err := HashJoin(cl, big, Options{Budget: 100}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("big db did not exceed budget: %v", err)
+	}
+}
+
+func TestIndexLoopUsesIndexes(t *testing.T) {
+	db := fixtureDB(t, 100)
+	cl := closureFor(t, "select r.id from r where r.grp = 2")
+	db.Stats().Reset()
+	res, err := IndexLoop(cl, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// grp has a row index: the evaluator must have fetched only the
+	// matching 20 rows rather than scanning 100.
+	if res.Stats.TuplesScanned != 0 {
+		t.Errorf("IndexLoop scanned %d tuples despite index", res.Stats.TuplesScanned)
+	}
+	if res.Stats.TuplesFetched != 20 {
+		t.Errorf("IndexLoop fetched %d tuples, want 20", res.Stats.TuplesFetched)
+	}
+}
+
+func TestIndexLoopFallsBackToScan(t *testing.T) {
+	db := fixtureDB(t, 30)
+	// payload has no row index; pinning it forces a scan.
+	cl := closureFor(t, "select r.id from r where r.payload = 14")
+	db.Stats().Reset()
+	res, err := IndexLoop(cl, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TuplesScanned != 30 {
+		t.Errorf("scan expected over 30 tuples, got %d", res.Stats.TuplesScanned)
+	}
+	if len(res.Tuples) != 1 || !res.Tuples[0].Equal(value.Tuple{value.Int(2)}) {
+		t.Errorf("answer = %v", res.Tuples)
+	}
+}
+
+func TestUnsatisfiableQuery(t *testing.T) {
+	db := fixtureDB(t, 10)
+	cl := closureFor(t, "select r.id from r where r.grp = 1 and r.grp = 2")
+	for name, f := range map[string]func(*spc.Closure, *storage.Database, Options) (*Result, error){
+		"IndexLoop": IndexLoop, "HashJoin": HashJoin,
+	} {
+		res, err := f(cl, db, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Tuples) != 0 {
+			t.Errorf("%s returned %v for unsatisfiable query", name, res.Tuples)
+		}
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	db := fixtureDB(t, 12)
+	// ids whose payload equals another row's id... use s twice instead:
+	// pairs (rid, rid2) with the same tag and rid = 0.
+	cl := closureFor(t, `select s2.rid from s as s1, s as s2
+		where s1.tag = s2.tag and s1.rid = 0`)
+	a, err := IndexLoop(cl, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HashJoin(cl, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tag(0) = 0; rows with tag 0: rids 0, 3, 6, 9.
+	want := []value.Tuple{{value.Int(0)}, {value.Int(3)}, {value.Int(6)}, {value.Int(9)}}
+	if len(a.Tuples) != len(want) {
+		t.Fatalf("IndexLoop = %v, want %v", a.Tuples, want)
+	}
+	for i := range want {
+		if !a.Tuples[i].Equal(want[i]) || !b.Tuples[i].Equal(want[i]) {
+			t.Fatalf("self-join answers differ: %v / %v, want %v", a.Tuples, b.Tuples, want)
+		}
+	}
+}
+
+func TestWithinAtomEquality(t *testing.T) {
+	db := storage.NewDatabase(fixtureCatalog())
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.Insert("s", value.Tuple{value.Int(1), value.Int(1)}))
+	must(db.Insert("s", value.Tuple{value.Int(2), value.Int(3)}))
+	must(db.Insert("s", value.Tuple{value.Int(5), value.Int(5)}))
+	cl := closureFor(t, "select s.rid from s where s.rid = s.tag")
+	for name, f := range map[string]func(*spc.Closure, *storage.Database, Options) (*Result, error){
+		"IndexLoop": IndexLoop, "HashJoin": HashJoin,
+	} {
+		res, err := f(cl, db, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := []value.Tuple{{value.Int(1)}, {value.Int(5)}}
+		if len(res.Tuples) != 2 || !res.Tuples[0].Equal(want[0]) || !res.Tuples[1].Equal(want[1]) {
+			t.Errorf("%s = %v, want %v", name, res.Tuples, want)
+		}
+	}
+}
+
+func TestAtomOrderPrefersConstants(t *testing.T) {
+	// s has two pinned parameter classes, r only the shared one: s first.
+	cl := closureFor(t, "select s.rid from r, s where r.id = s.rid and s.rid = 7 and s.tag = 1")
+	order := atomOrder(cl)
+	if order[0] != 1 {
+		t.Errorf("atom order = %v, want s first", order)
+	}
+}

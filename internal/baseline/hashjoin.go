@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"bcq/internal/spc"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// HashJoin evaluates the query with a left-deep hash join over the full
+// database: each atom's relation is scanned exactly once (applying the
+// atom's constant conditions during the scan), hashed on the classes it
+// shares with the bindings accumulated so far, and probed. It is the
+// strongest conventional baseline in this repository — one pass per
+// relation is a lower bound for any evaluator that cannot exploit access
+// constraints — and it still scales with |D|, which is the paper's point.
+func HashJoin(cl *spc.Closure, db *storage.Database, opts Options) (*Result, error) {
+	st := &evalState{cl: cl, q: cl.Query(), db: db, budget: -1}
+	if opts.Budget > 0 {
+		st.budget = opts.Budget
+	}
+	stats := db.Stats()
+	before := *stats
+
+	if !cl.Satisfiable() {
+		return project(cl, nil), nil
+	}
+
+	seed, covered := seedBinding(cl)
+	bindings := []binding{seed}
+	order := atomOrder(cl)
+
+	for _, atom := range order {
+		relName := st.q.Atoms[atom].Rel
+		rel, err := db.Relation(relName)
+		if err != nil {
+			return nil, err
+		}
+		attrs := rel.Schema.Attrs()
+
+		// Join classes: the atom's classes that are already covered.
+		var joinClasses []int
+		joinAttrPos := map[int]int{} // class -> attribute position in the tuple
+		for ai, attr := range attrs {
+			c := cl.Class(spc.AttrRef{Atom: atom, Attr: attr})
+			if c >= 0 && covered.Has(c) {
+				if _, dup := joinAttrPos[c]; !dup {
+					joinClasses = append(joinClasses, c)
+					joinAttrPos[c] = ai
+				}
+			}
+		}
+
+		// Build: scan the relation once, hash on the join classes.
+		build := make(map[string][]value.Tuple)
+		var scanErr error
+		err = db.Scan(relName, func(pos int, t value.Tuple) bool {
+			if scanErr = st.touch(1); scanErr != nil {
+				return false
+			}
+			key := make(value.Tuple, len(joinClasses))
+			for k, c := range joinClasses {
+				key[k] = t[joinAttrPos[c]]
+			}
+			build[key.Key()] = append(build[key.Key()], t)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if scanErr != nil {
+			return nil, scanErr
+		}
+
+		// Probe.
+		var next []binding
+		probe := make(value.Tuple, len(joinClasses))
+		for _, b := range bindings {
+			for k, c := range joinClasses {
+				probe[k] = b[c]
+			}
+			for _, t := range build[probe.Key()] {
+				if nb := extend(cl, covered, b, atom, t, attrs); nb != nil {
+					next = append(next, nb)
+				}
+			}
+		}
+		bindings = next
+		covered.AddAll(classesOfAtom(cl, atom))
+		if len(bindings) == 0 {
+			break
+		}
+	}
+
+	res := project(cl, bindings)
+	after := *stats
+	res.Stats = storage.Stats{
+		IndexLookups:  after.IndexLookups - before.IndexLookups,
+		TuplesFetched: after.TuplesFetched - before.TuplesFetched,
+		TuplesScanned: after.TuplesScanned - before.TuplesScanned,
+	}
+	return res, nil
+}

@@ -1,0 +1,86 @@
+// Package core implements the paper's decision algorithms: BCheck
+// (boundedness, Theorem 5), EBCheck (effective boundedness, Theorem 6),
+// findDPh (dominating parameters, Section 4.3), and exact exponential
+// solvers for the NP-hard variants (minimum dominating parameters,
+// Theorem 7; M-boundedness, Theorem 8) usable on small inputs.
+package core
+
+import (
+	"fmt"
+
+	"bcq/internal/deduce"
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+)
+
+// Analysis bundles a validated query, its Σ_Q closure, the access schema
+// and the actualized constraints, so the four algorithms and the planner
+// can share the O(|Q||A|) preprocessing.
+type Analysis struct {
+	Closure *spc.Closure
+	Access  *schema.AccessSchema
+	Acts    []deduce.Actualized
+}
+
+// NewAnalysis validates the query against the catalog (and the access
+// schema against the same catalog) and precomputes Σ_Q and the actualized
+// constraint set Γ.
+func NewAnalysis(cat *schema.Catalog, q *spc.Query, a *schema.AccessSchema) (*Analysis, error) {
+	if err := a.Validate(cat); err != nil {
+		return nil, err
+	}
+	cl, err := spc.NewClosure(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		Closure: cl,
+		Access:  a,
+		Acts:    deduce.Actualize(cl, a),
+	}, nil
+}
+
+// MustAnalysis is NewAnalysis that panics on error, for tests.
+func MustAnalysis(cat *schema.Catalog, q *spc.Query, a *schema.AccessSchema) *Analysis {
+	an, err := NewAnalysis(cat, q, a)
+	if err != nil {
+		panic(err)
+	}
+	return an
+}
+
+// Query returns the analyzed query.
+func (an *Analysis) Query() *spc.Query { return an.Closure.Query() }
+
+// Catalog returns the catalog the query was validated against.
+func (an *Analysis) Catalog() *schema.Catalog { return an.Closure.Catalog() }
+
+// describeClasses renders a class-id list for diagnostics.
+func (an *Analysis) describeClasses(ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = an.Closure.ClassName(id)
+	}
+	return out
+}
+
+// seedUnion returns X_B ∪ X_C as a fresh set (the seed of BCheck's closure,
+// Figure 3 line 2).
+func (an *Analysis) seedUnion() spc.ClassSet {
+	s := an.Closure.XB().Clone()
+	s.AddAll(an.Closure.XC())
+	return s
+}
+
+// target returns X_B ∪ Z, the set Theorem 3 requires the closure to cover.
+func (an *Analysis) target() spc.ClassSet {
+	s := an.Closure.XB().Clone()
+	s.AddAll(an.Closure.OutClasses())
+	return s
+}
+
+// String summarizes the analysis inputs.
+func (an *Analysis) String() string {
+	return fmt.Sprintf("query %s: |Q|=%d, ‖A‖=%d, %d classes",
+		an.Query().Name, an.Query().Size(an.Catalog()), an.Access.Size(), an.Closure.NumClasses())
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+	"bcq/internal/value"
+)
+
+// Fixtures: the paper's running example (Examples 1, 2).
+
+func socialCatalog() *schema.Catalog {
+	return schema.MustCatalog(
+		schema.MustRelation("in_album", "photo_id", "album_id"),
+		schema.MustRelation("friends", "user_id", "friend_id"),
+		schema.MustRelation("tagging", "photo_id", "tagger_id", "taggee_id"),
+	)
+}
+
+func accessA0() *schema.AccessSchema {
+	return schema.MustAccessSchema(
+		schema.MustAccessConstraint("in_album", []string{"album_id"}, []string{"photo_id"}, 1000),
+		schema.MustAccessConstraint("friends", []string{"user_id"}, []string{"friend_id"}, 5000),
+		schema.MustAccessConstraint("tagging", []string{"photo_id", "taggee_id"}, []string{"tagger_id"}, 1),
+	)
+}
+
+// accessA1 is A0 without the tagging constraint (Example 8).
+func accessA1() *schema.AccessSchema {
+	return schema.MustAccessSchema(
+		schema.MustAccessConstraint("in_album", []string{"album_id"}, []string{"photo_id"}, 1000),
+		schema.MustAccessConstraint("friends", []string{"user_id"}, []string{"friend_id"}, 5000),
+	)
+}
+
+const q0src = `
+	query Q0:
+	select t1.photo_id
+	from in_album as t1, friends as t2, tagging as t3
+	where t1.album_id = 'a0' and t2.user_id = 'u0'
+	  and t1.photo_id = t3.photo_id
+	  and t3.tagger_id = t2.friend_id and t3.taggee_id = t2.user_id
+`
+
+// q1src is the paper's Q1: the same query as Q0 but parameterized — the
+// album and user are placeholder slots a user fills in at execution time
+// (Example 1(2)).
+const q1src = `
+	query Q1:
+	select t1.photo_id
+	from in_album as t1, friends as t2, tagging as t3
+	where t1.album_id = ? and t2.user_id = ?
+	  and t1.photo_id = t3.photo_id
+	  and t3.tagger_id = t2.friend_id and t3.taggee_id = t2.user_id
+`
+
+func analysisFor(t *testing.T, src string, a *schema.AccessSchema) *Analysis {
+	t.Helper()
+	cat := socialCatalog()
+	an, err := NewAnalysis(cat, spc.MustParse(src, cat), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+// --- BCheck (Theorem 3, Example 4/6) ---
+
+func TestBCheckQ0Bounded(t *testing.T) {
+	an := analysisFor(t, q0src, accessA0())
+	res := an.BCheck()
+	if !res.Bounded || res.Trivial {
+		t.Fatalf("Q0 must be bounded under A0: %+v", res)
+	}
+	if res.Bound.IsUnbounded() {
+		t.Error("bounded query with unbounded estimate")
+	}
+}
+
+func TestBCheckQ1NotBounded(t *testing.T) {
+	an := analysisFor(t, q1src, accessA0())
+	res := an.BCheck()
+	if res.Bounded {
+		t.Fatal("parameterized Q1 must not be bounded under A0")
+	}
+	if len(res.MissingClasses) == 0 {
+		t.Error("negative answer must name missing classes")
+	}
+}
+
+func TestBCheckBooleanQueryAlwaysBounded(t *testing.T) {
+	// Example 1(3): Boolean SPC queries are bounded under the empty access
+	// schema — X_B needs only witnesses, deducible by Reflexivity.
+	cat := socialCatalog()
+	empty := schema.MustAccessSchema()
+	q := spc.MustParse(`select exists from in_album as t1, tagging as t3
+		where t1.photo_id = t3.photo_id`, cat)
+	an, err := NewAnalysis(cat, q, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := an.BCheck(); !res.Bounded {
+		t.Errorf("Boolean query not bounded under empty schema: %+v", res)
+	}
+}
+
+func TestBCheckNonBooleanNotBoundedUnderEmptySchema(t *testing.T) {
+	cat := socialCatalog()
+	q := spc.MustParse("select photo_id from in_album where album_id = 'a0'", cat)
+	an, err := NewAnalysis(cat, q, schema.MustAccessSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := an.BCheck(); res.Bounded {
+		t.Error("projection query bounded with no constraints")
+	}
+}
+
+func TestBCheckUnsatisfiableTrivial(t *testing.T) {
+	cat := socialCatalog()
+	q := spc.MustParse("select photo_id from in_album where album_id = 1 and album_id = 2", cat)
+	an, err := NewAnalysis(cat, q, schema.MustAccessSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := an.BCheck()
+	if !res.Bounded || !res.Trivial {
+		t.Errorf("unsatisfiable query must be trivially bounded: %+v", res)
+	}
+}
+
+func TestBCheckMonotoneInConstraints(t *testing.T) {
+	// Adding constraints can only help: bounded under A.Restrict(k) implies
+	// bounded under A.
+	an0 := analysisFor(t, q0src, accessA1())
+	an1 := analysisFor(t, q0src, accessA0())
+	if an0.BCheck().Bounded && !an1.BCheck().Bounded {
+		t.Error("boundedness lost when adding constraints")
+	}
+}
+
+// --- EBCheck (Theorem 4, Example 5/7) ---
+
+func TestEBCheckQ0EffectivelyBounded(t *testing.T) {
+	an := analysisFor(t, q0src, accessA0())
+	res := an.EBCheck()
+	if !res.EffectivelyBounded {
+		t.Fatalf("Q0 must be effectively bounded under A0: missing=%v unindexed=%v",
+			res.MissingClasses, res.UnindexedAtoms)
+	}
+	// Example 1 computes the 7000-tuple budget from 1000 + 5000 + 1000;
+	// the combination bound here is at most 1000 * 5000.
+	if res.Bound.IsUnbounded() {
+		t.Error("effectively bounded with unbounded estimate")
+	}
+}
+
+func TestEBCheckQ1Fails(t *testing.T) {
+	an := analysisFor(t, q1src, accessA0())
+	res := an.EBCheck()
+	if res.EffectivelyBounded {
+		t.Fatal("Q1 must not be effectively bounded")
+	}
+	if len(res.MissingClasses) == 0 {
+		t.Error("diagnosis must name missing classes")
+	}
+}
+
+func TestEBCheckQ0FailsWithoutTaggingIndex(t *testing.T) {
+	// Example 8: under A1 the tagging atom has no index; even Q0 (with
+	// constants) is not effectively bounded.
+	an := analysisFor(t, q0src, accessA1())
+	res := an.EBCheck()
+	if res.EffectivelyBounded {
+		t.Fatal("Q0 must not be effectively bounded under A1")
+	}
+	found := false
+	for _, a := range res.UnindexedAtoms {
+		if a == "t3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnosis must blame atom t3, got %v", res.UnindexedAtoms)
+	}
+}
+
+func TestEBCheckImpliesBCheck(t *testing.T) {
+	// SPC_eb ⊂ SPC_b (Proposition 2, one direction): effective boundedness
+	// implies boundedness.
+	for _, src := range []string{q0src, q1src} {
+		for _, a := range []*schema.AccessSchema{accessA0(), accessA1(), schema.MustAccessSchema()} {
+			an := analysisFor(t, src, a)
+			if an.EBCheck().EffectivelyBounded && !an.BCheck().Bounded {
+				t.Errorf("effectively bounded but not bounded: %s under %v", src, a)
+			}
+		}
+	}
+}
+
+func TestProposition2Witness(t *testing.T) {
+	// A query that is bounded but not effectively bounded: Boolean queries
+	// are always bounded (witness of size |Q|), but with no index the
+	// witness cannot be *fetched* boundedly.
+	cat := socialCatalog()
+	q := spc.MustParse("select exists from friends where friends.user_id = friends.friend_id", cat)
+	an, err := NewAnalysis(cat, q, schema.MustAccessSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.BCheck().Bounded {
+		t.Error("Boolean query must be bounded")
+	}
+	if an.EBCheck().EffectivelyBounded {
+		t.Error("Boolean query with no indices must not be effectively bounded")
+	}
+}
+
+// --- findDPh (Section 4.3, Example 9) ---
+
+func TestFindDPhQ1(t *testing.T) {
+	an := analysisFor(t, q1src, accessA0())
+	res := an.FindDPh(3.0 / 7.0)
+	if !res.Exists {
+		t.Fatalf("Q1 must have dominating parameters under A0: %s", res.Reason)
+	}
+	// Example 9 finds {aid, uid, tid2}; uid and tid2 share a class, so the
+	// class count is 2 and the occurrence count 3.
+	if len(res.Params) != 3 {
+		t.Errorf("|X_P| = %d, want 3 (%v)", len(res.Params), res.Params)
+	}
+	wantAttrs := map[string]bool{"album_id": false, "user_id": false, "taggee_id": false}
+	for _, ref := range res.Params {
+		if _, ok := wantAttrs[ref.Attr]; ok {
+			wantAttrs[ref.Attr] = true
+		} else {
+			t.Errorf("unexpected dominating parameter %v", ref)
+		}
+	}
+	for a, seen := range wantAttrs {
+		if !seen {
+			t.Errorf("dominating parameters missing %s", a)
+		}
+	}
+	if res.Ratio > 3.0/7.0+1e-9 {
+		t.Errorf("ratio = %v > 3/7", res.Ratio)
+	}
+}
+
+func TestFindDPhInstantiationMakesEffectivelyBounded(t *testing.T) {
+	an := analysisFor(t, q1src, accessA0())
+	res := an.FindDPh(0.99)
+	if !res.Exists {
+		t.Fatal(res.Reason)
+	}
+	inst := instantiateRefs(t, an, res.Params)
+	if !inst.EBCheck().EffectivelyBounded {
+		t.Error("instantiating X_P must make Q1 effectively bounded")
+	}
+}
+
+func instantiateRefs(t *testing.T, an *Analysis, refs []spc.AttrRef) *Analysis {
+	t.Helper()
+	// One value per Σ_Q class: occurrences that share a class must get the
+	// same constant, or the instantiated query is trivially unsatisfiable.
+	m := make(map[spc.AttrRef]value.Value, len(refs))
+	for _, ref := range refs {
+		class := an.Closure.MustClass(ref)
+		m[ref] = value.Int(int64(1000 + class))
+	}
+	an2, err := NewAnalysis(an.Catalog(), an.Query().Instantiate(m), an.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an2
+}
+
+func TestFindDPhNoDominatingSetWithoutIndex(t *testing.T) {
+	// Example 8: under A1 (no tagging index), Q0/Q1 admit NO dominating
+	// parameters no matter what is instantiated.
+	an := analysisFor(t, q1src, accessA1())
+	res := an.FindDPh(0.99)
+	if res.Exists {
+		t.Fatal("no dominating set should exist under A1")
+	}
+	if !strings.Contains(res.Reason, "indexed") {
+		t.Errorf("reason should mention indexing: %q", res.Reason)
+	}
+}
+
+func TestFindDPhAlreadyEffectivelyBounded(t *testing.T) {
+	an := analysisFor(t, q0src, accessA0())
+	res := an.FindDPh(0.5)
+	if !res.Exists || len(res.Params) != 0 {
+		t.Errorf("effectively bounded query needs no parameters: %+v", res)
+	}
+}
+
+func TestFindDPhAlphaTooSmall(t *testing.T) {
+	an := analysisFor(t, q1src, accessA0())
+	res := an.FindDPh(0.01)
+	if res.Exists {
+		t.Errorf("α = 0.01 cannot be met with 3/7: %+v", res)
+	}
+	if res.Reason == "" {
+		t.Error("negative answer needs a reason")
+	}
+}
+
+// --- exact solvers ---
+
+func TestExactMinDPMatchesHeuristicOnQ1(t *testing.T) {
+	an := analysisFor(t, q1src, accessA0())
+	exact, err := an.ExactMinDP(0.99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Exists {
+		t.Fatal("exact solver found no dominating set")
+	}
+	heur := an.FindDPh(0.99)
+	if !heur.Exists {
+		t.Fatal(heur.Reason)
+	}
+	// The heuristic can be no better than the optimum.
+	if len(heur.Params) < len(exact.Params) {
+		t.Errorf("heuristic (%d) beat exact (%d)?", len(heur.Params), len(exact.Params))
+	}
+	// On this instance they agree (Example 9's set is optimal).
+	if len(exact.Params) != 3 {
+		t.Errorf("exact |X_P| = %d, want 3: %v", len(exact.Params), exact.Params)
+	}
+}
+
+func TestExactMinDPTooLarge(t *testing.T) {
+	an := analysisFor(t, q1src, accessA0())
+	_, err := an.ExactMinDP(0.99, 1)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactMBoundedQ0(t *testing.T) {
+	an := analysisFor(t, q0src, accessA0())
+	res, err := an.ExactMBounded(1_000_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EffectivelyBounded || !res.MBounded {
+		t.Fatalf("Q0 must be M-bounded for huge M: %+v", res)
+	}
+	if res.MinFetchBound.IsUnbounded() {
+		t.Fatal("finite plan must have finite bound")
+	}
+	// Tiny M: not M-bounded.
+	tiny, err := an.ExactMBounded(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.MBounded {
+		t.Errorf("Q0 cannot be answered in 10 tuples worst case: min bound %v", tiny.MinFetchBound)
+	}
+	if tiny.MinFetchBound != res.MinFetchBound {
+		t.Error("M must not change the computed minimum")
+	}
+}
+
+func TestExactMBoundedNotEB(t *testing.T) {
+	an := analysisFor(t, q1src, accessA0())
+	res, err := an.ExactMBounded(1_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectivelyBounded || res.MBounded {
+		t.Errorf("Q1 is not effectively bounded: %+v", res)
+	}
+	if !res.MinFetchBound.IsUnbounded() {
+		t.Error("min bound must be unbounded")
+	}
+}

@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"testing"
+
+	"bcq/internal/schema"
+	"bcq/internal/value"
+)
+
+func TestPaperShapeCounts(t *testing.T) {
+	// Section 6 of the paper: TFACC has 19 tables and 113 attributes with
+	// 84 extracted access constraints; MOT is one joined relation with 36
+	// attributes and 27 constraints; TPC-H has 8 relations (61 attributes,
+	// TPC-H's real count) and 61 constraints.
+	cases := []struct {
+		ds                 *Dataset
+		rels, attrs, edges int
+	}{
+		{TFACC(), 19, 113, 84},
+		{MOT(), 1, 36, 27},
+		{TPCH(), 8, 61, 61},
+	}
+	for _, c := range cases {
+		if got := c.ds.Catalog.NumRelations(); got != c.rels {
+			t.Errorf("%s: relations = %d, want %d", c.ds.Name, got, c.rels)
+		}
+		if got := c.ds.Catalog.NumAttrs(); got != c.attrs {
+			t.Errorf("%s: attributes = %d, want %d", c.ds.Name, got, c.attrs)
+		}
+		if got := c.ds.Access.Size(); got != c.edges {
+			t.Errorf("%s: constraints = %d, want %d", c.ds.Name, got, c.edges)
+		}
+	}
+}
+
+func TestBuildSatisfiesAccessSchema(t *testing.T) {
+	// Build verifies D |= A internally (index construction checks every
+	// cardinality bound); failure here means a generator bug.
+	for _, ds := range []*Dataset{Social(), TFACC(), MOT(), TPCH()} {
+		for _, sf := range []float64{1.0 / 32, 1.0 / 8, 0.3, 1} {
+			if _, err := ds.Build(sf); err != nil {
+				t.Errorf("%s at sf=%g: %v", ds.Name, sf, err)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, ds := range []*Dataset{Social(), MOT()} {
+		a := ds.MustBuild(0.25)
+		b := ds.MustBuild(0.25)
+		if a.NumTuples() != b.NumTuples() {
+			t.Fatalf("%s: tuple counts differ", ds.Name)
+		}
+		for _, rel := range ds.Catalog.Relations() {
+			ra := a.MustRelation(rel.Name())
+			rb := b.MustRelation(rel.Name())
+			for i := range ra.Tuples {
+				if !ra.Tuples[i].Equal(rb.Tuples[i]) {
+					t.Fatalf("%s.%s tuple %d differs", ds.Name, rel.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildScalesLinearly(t *testing.T) {
+	ds := TFACC()
+	small := ds.MustBuild(1.0 / 8)
+	large := ds.MustBuild(1.0 / 2)
+	ratio := float64(large.NumTuples()) / float64(small.NumTuples())
+	// Fixed dimension tables dampen the ratio a little; it must still be
+	// clearly growing toward 4x.
+	if ratio < 2.5 || ratio > 4.5 {
+		t.Errorf("scale 4x changed |D| by %.2fx (%d -> %d)", ratio, small.NumTuples(), large.NumTuples())
+	}
+}
+
+func TestLogicalContentStableAcrossScales(t *testing.T) {
+	// Entities present at small scale must be unchanged at larger scale:
+	// group g's logical rows are a pure function of g. Query constants
+	// drawn from [0, SpaceMin) therefore match at every scale.
+	ds := Social()
+	small := ds.MustBuild(1.0 / 32)
+	large := ds.MustBuild(1)
+	ac := ds.Access.ForRelation("in_album")[0]
+	for g := int64(0); g < ds.SpaceMin("album"); g++ {
+		es, err := small.Fetch(ac, value.Tuple{value.Int(g)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, err := large.Fetch(ac, value.Tuple{value.Int(g)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) != len(el) {
+			t.Fatalf("album %d: %d photos small vs %d large", g, len(es), len(el))
+		}
+	}
+}
+
+func TestDuplicatesArePhysicallyDistinct(t *testing.T) {
+	// Duplicate copies of a logical row must differ in payload attributes
+	// (the "irrelevant attributes" MySQL reads and evalDQ skips).
+	ds := MOT()
+	db := ds.MustBuild(1) // full scale: full duplication
+	rel := db.MustRelation("mot_test")
+	spec, _ := ds.RelSpecByName("mot_test")
+	if spec.Dup < 2 {
+		t.Skip("needs duplicates")
+	}
+	seen := map[string]int{}
+	for _, tu := range rel.Tuples {
+		seen[tu.Key()]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("fully identical physical tuples (%d copies): %s", n, k)
+		}
+	}
+	// But the non-payload projection must repeat Dup times.
+	nonPay := spec.NonPayload()
+	pos, err := rel.Schema.Positions(nonPay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := map[string]int{}
+	for _, tu := range rel.Tuples {
+		proj[value.KeyOf(tu, pos)]++
+	}
+	for k, n := range proj {
+		if n != spec.Dup {
+			t.Fatalf("logical row repeated %d times, want %d: %s", n, spec.Dup, k)
+			break
+		}
+	}
+}
+
+func TestSpaceCountsAndMins(t *testing.T) {
+	// The shipped datasets use fixed spaces (growth comes from
+	// duplication); fixed spaces must ignore the scale factor entirely.
+	ds := TFACC()
+	if got := ds.SpaceCount("police_force", 0.01); got != 51 {
+		t.Errorf("fixed space scaled: %d", got)
+	}
+	if got := ds.SpaceCount("accident", 1.0/64); got != 512 {
+		t.Errorf("fixed accident space scaled: %d", got)
+	}
+	// Scaling spaces (supported for custom datasets) grow with sf and
+	// respect their minimum.
+	scaled2 := &Dataset{
+		Name:   "scaledspaces2",
+		Spaces: []Space{{Name: "s", Base: 640}},
+		Rels: []RelSpec{{
+			Name: "r", GroupSpace: "s", F1: 1, F2: 1, Dup: 1,
+			Attrs: []AttrSpec{grp("k"), dm("d", 5, 0, 1)},
+		}},
+		Access: schema.MustAccessSchema(
+			schema.MustAccessConstraint("r", []string{"k"}, []string{"d"}, 1),
+		),
+	}
+	scaled2.finalize()
+	if got := scaled2.SpaceCount("s", 1); got != 640 {
+		t.Errorf("scaling space at sf=1: %d", got)
+	}
+	if got := scaled2.SpaceCount("s", 0.5); got != 320 {
+		t.Errorf("scaling space at sf=0.5: %d", got)
+	}
+	if got := scaled2.SpaceCount("s", 1.0/1024); got != scaled2.SpaceMin("s") {
+		t.Errorf("min not enforced: %d", got)
+	}
+	if scaled2.SpaceMin("s") != 20 {
+		t.Errorf("SpaceMin = %d, want 640/32 = 20", scaled2.SpaceMin("s"))
+	}
+}
+
+func TestRelSpecHelpers(t *testing.T) {
+	ds := Social()
+	rs, ok := ds.RelSpecByName("friends")
+	if !ok {
+		t.Fatal("friends spec missing")
+	}
+	if rs.KeyAttr() != "user_id" {
+		t.Errorf("KeyAttr = %q", rs.KeyAttr())
+	}
+	np := rs.NonPayload()
+	if len(np) != 2 {
+		t.Errorf("NonPayload = %v", np)
+	}
+	if _, ok := ds.RelSpecByName("ghost"); ok {
+		t.Error("phantom relation spec")
+	}
+}
+
+func TestMOTSingleWideRelation(t *testing.T) {
+	ds := MOT()
+	db := ds.MustBuild(1.0 / 32)
+	rel := db.MustRelation("mot_test")
+	if rel.Schema.Arity() != 36 {
+		t.Errorf("arity = %d", rel.Schema.Arity())
+	}
+	if len(rel.Tuples) == 0 {
+		t.Fatal("empty build")
+	}
+}

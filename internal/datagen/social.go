@@ -1,0 +1,90 @@
+package datagen
+
+import (
+	"bcq/internal/schema"
+	"bcq/internal/value"
+)
+
+// Social builds the running example of the paper (Examples 1 and 2): photo
+// albums, friendship and tagging on a social network, under the access
+// schema A0 — at most 1000 photos per album, 5000 friends per user, and
+// one tagger per (photo, taggee) pair. Entity ids are integers; album a0 /
+// user u0 of the paper correspond to integer ids.
+//
+// The tagging relation is correlated the way a real network is: each
+// photo's taggees cycle through the user space, and for every second tag
+// the tagger is one of the taggee's friends — so "photos where u was
+// tagged by a friend" has answers, and also non-answers.
+func Social() *Dataset {
+	const (
+		albumBase = 64
+		userBase  = 128
+		// photosPerAlbum and friendsPerUser are deliberately far below the
+		// constraint bounds (1000/5000): the constraints are upper bounds,
+		// not exact fanouts, exactly as on the real platform.
+		photosPerAlbum  = 8
+		friendsPerUser  = 16
+		taggeesPerPhoto = 2
+		// friendMix is the mix of the modular friend generator; the
+		// tagger correlation below reproduces it.
+		friendMix = 11
+	)
+	inAlbum := RelSpec{
+		Name: "in_album", GroupSpace: "album", F1: photosPerAlbum, F2: 1, Dup: 32,
+		Attrs: []AttrSpec{
+			l1s("photo_id", "photo"),
+			grp("album_id"),
+		},
+	}
+	friends := RelSpec{
+		Name: "friends", GroupSpace: "user", F1: friendsPerUser, F2: 1, Dup: 32,
+		Attrs: []AttrSpec{
+			grp("user_id"),
+			md("friend_id", "user", 1, friendMix),
+		},
+	}
+	// friendOf reproduces the friends generator: friend #j of user u.
+	friendOf := func(u, j, users int64) int64 {
+		return ((u*friendsPerUser+j)*2654435761 + friendMix) % users
+	}
+	// taggeeOf assigns photo tags round-robin over users, so every user is
+	// tagged in a predictable, scale-invariant set of photos.
+	taggeeOf := func(key, users int64) int64 { return (key + 22) % users }
+	tagging := RelSpec{
+		Name: "tagging", GroupSpace: "photo", F1: taggeesPerPhoto, F2: 1, Dup: 32,
+		Attrs: []AttrSpec{
+			grp("photo_id"),
+			{Name: "tagger_id", Level: 1, Fn: func(g, j1, _ int64, count func(string) int64) value.Value {
+				users := count("user")
+				key := g*taggeesPerPhoto + j1
+				taggee := taggeeOf(key, users)
+				if key%2 == 0 {
+					// Tagged by one of the taggee's friends.
+					return value.Int(friendOf(taggee, key%friendsPerUser, users))
+				}
+				// Tagged by an (almost certainly) unrelated user.
+				return value.Int((key*48271 + 21) % users)
+			}},
+			{Name: "taggee_id", Level: 1, Fn: func(g, j1, _ int64, count func(string) int64) value.Value {
+				return value.Int(taggeeOf(g*taggeesPerPhoto+j1, count("user")))
+			}},
+		},
+	}
+	constraints := []schema.AccessConstraint{
+		schema.MustAccessConstraint("in_album", []string{"album_id"}, []string{"photo_id"}, 1000),
+		schema.MustAccessConstraint("friends", []string{"user_id"}, []string{"friend_id"}, 5000),
+		schema.MustAccessConstraint("tagging", []string{"photo_id", "taggee_id"}, []string{"tagger_id"}, 1),
+	}
+	d := &Dataset{
+		Name: "Social",
+		Spaces: []Space{
+			{Name: "album", Base: albumBase, Fixed: true},
+			{Name: "user", Base: userBase, Fixed: true},
+			// The photo space is the image of in_album's level-1 key.
+			{Name: "photo", Base: albumBase * photosPerAlbum, Fixed: true},
+		},
+		Rels:   []RelSpec{inAlbum, friends, tagging},
+		Access: schema.MustAccessSchema(constraints...),
+	}
+	return d.finalize()
+}

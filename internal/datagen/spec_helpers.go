@@ -1,0 +1,98 @@
+package datagen
+
+import "bcq/internal/schema"
+
+// Attribute-spec constructors, used by the static dataset tables.
+
+func grp(name string) AttrSpec { return AttrSpec{Name: name, Gen: GenGroup} }
+
+func l1(name string) AttrSpec { return AttrSpec{Name: name, Gen: GenL1, Level: 1} }
+
+// l1s is l1 with the entity space the level-1 key ranges over, making the
+// attribute joinable against relations keyed by that space.
+func l1s(name, space string) AttrSpec {
+	return AttrSpec{Name: name, Gen: GenL1, Level: 1, Space: space}
+}
+
+func l2(name string) AttrSpec { return AttrSpec{Name: name, Gen: GenL2, Level: 2} }
+
+func jdx1(name string) AttrSpec { return AttrSpec{Name: name, Gen: GenJ1, Level: 1} }
+
+// ref is a hash reference into a space (no bounded fan-in).
+func ref(name, space string, level int, mix int64) AttrSpec {
+	return AttrSpec{Name: name, Gen: GenRef, Space: space, Level: level, Mix: mix}
+}
+
+// md is a modular reference into a space (hard bounded fan-in).
+func md(name, space string, level int, mix int64) AttrSpec {
+	return AttrSpec{Name: name, Gen: GenMod, Space: space, Level: level, Mix: mix}
+}
+
+// dm is a bounded-domain code attribute.
+func dm(name string, m int64, level int, mix int64) AttrSpec {
+	return AttrSpec{Name: name, Gen: GenDom, Arg: m, Level: level, Mix: mix}
+}
+
+// pay is an unbounded payload attribute (varies per duplicate; never in a
+// constraint).
+func pay(name string, mix int64) AttrSpec {
+	return AttrSpec{Name: name, Gen: GenPayload, Mix: mix}
+}
+
+func dupseq(name string) AttrSpec { return AttrSpec{Name: name, Gen: GenDupSeq} }
+
+// KeyAttr returns the relation's group-key attribute (the GenGroup
+// attribute), or "".
+func (rs RelSpec) KeyAttr() string {
+	for _, a := range rs.Attrs {
+		if a.Gen == GenGroup {
+			return a.Name
+		}
+	}
+	return ""
+}
+
+// NonPayload returns the attributes that participate in constraints:
+// everything except payloads and duplicate sequence numbers.
+func (rs RelSpec) NonPayload() []string {
+	var out []string
+	for _, a := range rs.Attrs {
+		if a.Gen == GenPayload || a.Gen == GenDupSeq {
+			continue
+		}
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// LogicalRows returns the relation's logical row count per group.
+func (rs RelSpec) LogicalRows() int64 { return int64(rs.F1) * int64(rs.F2) }
+
+// constraint helpers used by the static dataset tables
+
+// rowC builds X → (all non-payload attributes \ X, n) on the relation: the
+// "fetch the logical rows" constraint.
+func rowC(rs RelSpec, x []string, n int64) schema.AccessConstraint {
+	return schema.MustAccessConstraint(rs.Name, x, rs.NonPayload(), n)
+}
+
+// domC builds ∅ → (attr, m): a bounded-domain constraint.
+func domC(rel, attr string, m int64) schema.AccessConstraint {
+	return schema.MustAccessConstraint(rel, nil, []string{attr}, m)
+}
+
+// fdC builds X → (Y, n) on a relation.
+func fdC(rel string, x []string, y []string, n int64) schema.AccessConstraint {
+	return schema.MustAccessConstraint(rel, x, y, n)
+}
+
+// modFanIn computes a safe fan-in bound for a GenMod reference: a relation
+// whose groups range over a space of base gBase, expanded by fanout f1,
+// referencing a space of base tBase (with minimum tMin when the target is
+// scale-pinned). The true fan-in at any scale is ⌈rows/targets⌉ up to
+// rounding; the +2 and 25% headroom absorb rounding at fractional scales,
+// and the generator tests re-verify the declared bounds on built instances.
+func modFanIn(gBase, f1, tBase int64) int64 {
+	ratio := (gBase*f1 + tBase - 1) / tBase
+	return ratio + ratio/4 + 2
+}

@@ -1,0 +1,355 @@
+package datagen
+
+import "bcq/internal/schema"
+
+// TFACC builds the synthetic stand-in for the paper's UK traffic-accident
+// dataset: Road Safety Data joined with NaPTAN public-transport nodes
+// (Section 6). The shape matches the paper's description exactly — 19
+// relations, 113 attributes, 84 access constraints — and the constraint
+// profile mirrors the examples the paper quotes, e.g. date → (aid, N) "at
+// most N accidents per day" and aid → (vid, N) "at most N vehicles per
+// accident".
+func TFACC() *Dataset {
+	const (
+		accBase  = 512
+		stopBase = 256
+		dateBase = 64
+		locBase  = 64
+		// factDup is the duplication of the fact relations at full scale;
+		// dimension tables do not duplicate (they do not grow in real
+		// data either).
+		factDup = 32
+	)
+	accident := RelSpec{
+		Name: "accident", GroupSpace: "accident", F1: 1, F2: 1, Dup: factDup,
+		Attrs: []AttrSpec{
+			grp("aid"),
+			md("acc_date", "acc_date", 0, 11),
+			dm("time_slot", 24, 0, 12),
+			dm("severity", 3, 0, 13),
+			dm("weather", 9, 0, 14),
+			dm("road_type", 7, 0, 15),
+			dm("speed_limit", 8, 0, 16),
+			dm("junction_detail", 10, 0, 17),
+			dm("urban", 3, 0, 18),
+			dm("num_vehicles", 16, 0, 19),
+			dm("num_casualties", 8, 0, 20),
+			md("pf_id", "police_force", 0, 21),
+			md("la_id", "local_authority", 0, 22),
+			pay("latitude", 23),
+			pay("longitude", 24),
+		},
+	}
+	vehicle := RelSpec{
+		Name: "vehicle", GroupSpace: "accident", F1: 3, F2: 1, Dup: factDup,
+		Attrs: []AttrSpec{
+			grp("aid"),
+			l1s("vid", "vehicle"),
+			md("make_id", "make", 1, 31),
+			md("model_id", "model", 1, 32),
+			dm("vtype", 20, 1, 33),
+			dm("veh_age_band", 11, 1, 34),
+			dm("engine_cc_band", 50, 1, 35),
+			dm("left_hand", 2, 1, 36),
+			dm("towing", 6, 1, 37),
+			dm("skidding", 6, 1, 38),
+			dm("first_impact", 5, 1, 39),
+			pay("veh_note", 40),
+		},
+	}
+	casualty := RelSpec{
+		Name: "casualty", GroupSpace: "accident", F1: 2, F2: 1, Dup: factDup,
+		Attrs: []AttrSpec{
+			grp("aid"),
+			l1s("cid", "casualty"),
+			dm("cas_class", 3, 1, 51),
+			dm("sex", 2, 1, 52),
+			dm("cas_age_band", 11, 1, 53),
+			dm("cas_severity", 3, 1, 54),
+			dm("ped_flag", 2, 1, 55),
+			dm("seat_position", 5, 1, 56),
+			pay("cas_note", 57),
+		},
+	}
+	driver := RelSpec{
+		Name: "driver", GroupSpace: "vehicle", F1: 1, F2: 1, Dup: factDup,
+		Attrs: []AttrSpec{
+			grp("vid"),
+			l1("did"),
+			dm("drv_sex", 3, 0, 61),
+			dm("drv_age_band", 11, 0, 62),
+			dm("home_area", 3, 0, 63),
+			dm("journey_purpose", 7, 0, 64),
+			dm("drv_engine_band", 10, 0, 65),
+			pay("drv_note", 66),
+		},
+	}
+	pedestrian := RelSpec{
+		Name: "pedestrian", GroupSpace: "casualty", F1: 1, F2: 1, Dup: factDup,
+		Attrs: []AttrSpec{
+			grp("cid"),
+			dm("ped_location", 10, 0, 71),
+			dm("ped_movement", 9, 0, 72),
+			dm("ped_direction", 9, 0, 73),
+			dm("ped_injury", 4, 0, 74),
+			pay("ped_note", 75),
+		},
+	}
+	policeForce := RelSpec{
+		Name: "police_force", GroupSpace: "police_force", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("pfid"),
+			dm("pf_code", 1000, 0, 81),
+			dm("pf_region", 12, 0, 82),
+			dm("pf_size_band", 5, 0, 83),
+			pay("pf_note", 84),
+		},
+	}
+	localAuthority := RelSpec{
+		Name: "local_authority", GroupSpace: "local_authority", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("laid"),
+			dm("la_code", 10000, 0, 91),
+			dm("la_region", 12, 0, 92),
+			pay("la_note", 93),
+		},
+	}
+	vmake := RelSpec{
+		Name: "make", GroupSpace: "make", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("mkid"),
+			dm("mk_code", 5000, 0, 101),
+			dm("mk_country", 30, 0, 102),
+			dm("mk_active", 2, 0, 103),
+			pay("mk_note", 104),
+		},
+	}
+	vmodel := RelSpec{
+		Name: "model", GroupSpace: "model", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("mdid"),
+			md("mk_ref", "make", 0, 111),
+			dm("md_code", 10000, 0, 112),
+			dm("md_fuel", 10, 0, 113),
+			dm("md_doors", 6, 0, 114),
+			pay("md_note", 115),
+		},
+	}
+	naptanStop := RelSpec{
+		Name: "naptan_stop", GroupSpace: "stop", F1: 1, F2: 1, Dup: 16,
+		Attrs: []AttrSpec{
+			grp("stop_id"),
+			dm("atco_code", 100000, 0, 121),
+			md("locality_ref", "locality", 0, 122),
+			dm("stop_type", 12, 0, 123),
+			dm("stop_status", 3, 0, 124),
+			pay("stop_lat", 125),
+			pay("stop_lon", 126),
+			pay("stop_note", 127),
+		},
+	}
+	locality := RelSpec{
+		Name: "locality", GroupSpace: "locality", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("loc_id"),
+			dm("loc_code", 10000, 0, 131),
+			dm("loc_district", 100, 0, 132),
+			dm("loc_county", 60, 0, 133),
+			pay("loc_note", 134),
+		},
+	}
+	accStop := RelSpec{
+		Name: "acc_stop", GroupSpace: "accident", F1: 2, F2: 1, Dup: factDup,
+		Attrs: []AttrSpec{
+			grp("aid"),
+			md("stop_ref", "stop", 1, 141),
+			dm("dist_band", 5, 1, 142),
+			dm("side", 2, 1, 143),
+			pay("as_note", 144),
+		},
+	}
+	weatherCond := RelSpec{
+		Name: "weather_cond", GroupSpace: "weather", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("wid"),
+			dm("w_code", 100, 0, 151),
+			pay("w_note", 152),
+		},
+	}
+	road := RelSpec{
+		Name: "road", GroupSpace: "road", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("rid"),
+			dm("road_class", 6, 0, 161),
+			dm("road_number", 10000, 0, 162),
+			dm("road_surface", 6, 0, 163),
+			dm("road_lighting", 7, 0, 164),
+			pay("road_note", 165),
+		},
+	}
+	accRoad := RelSpec{
+		Name: "acc_road", GroupSpace: "accident", F1: 1, F2: 1, Dup: factDup,
+		Attrs: []AttrSpec{
+			grp("aid"),
+			md("road_ref", "road", 0, 171),
+			pay("ar_note", 172),
+		},
+	}
+	timeBand := RelSpec{
+		Name: "time_band", GroupSpace: "time_band", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("tbid"),
+			dm("day_part", 4, 0, 181),
+			pay("tb_note", 182),
+		},
+	}
+	severityDim := RelSpec{
+		Name: "severity_dim", GroupSpace: "severity_dim", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("svid"),
+			dm("sv_code", 10, 0, 191),
+			pay("sv_note", 192),
+		},
+	}
+	casualtyType := RelSpec{
+		Name: "casualty_type", GroupSpace: "casualty_type", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("ctid"),
+			dm("ct_group", 20, 0, 201),
+			pay("ct_note", 202),
+		},
+	}
+	junction := RelSpec{
+		Name: "junction", GroupSpace: "junction", F1: 1, F2: 1, Dup: 1,
+		Attrs: []AttrSpec{
+			grp("jid"),
+			dm("j_control", 5, 0, 211),
+			dm("j_detail", 10, 0, 212),
+			pay("j_note", 213),
+		},
+	}
+
+	rels := []RelSpec{
+		accident, vehicle, casualty, driver, pedestrian,
+		policeForce, localAuthority, vmake, vmodel, naptanStop,
+		locality, accStop, weatherCond, road, accRoad,
+		timeBand, severityDim, casualtyType, junction,
+	}
+
+	constraints := []schema.AccessConstraint{
+		// Per-relation "fetch the logical rows by key" constraints (19).
+		rowC(accident, []string{"aid"}, 1),
+		rowC(vehicle, []string{"aid"}, 3),
+		rowC(casualty, []string{"aid"}, 2),
+		rowC(driver, []string{"vid"}, 1),
+		rowC(pedestrian, []string{"cid"}, 1),
+		rowC(policeForce, []string{"pfid"}, 1),
+		rowC(localAuthority, []string{"laid"}, 1),
+		rowC(vmake, []string{"mkid"}, 1),
+		rowC(vmodel, []string{"mdid"}, 1),
+		rowC(naptanStop, []string{"stop_id"}, 1),
+		rowC(locality, []string{"loc_id"}, 1),
+		rowC(accStop, []string{"aid"}, 2),
+		rowC(weatherCond, []string{"wid"}, 1),
+		rowC(road, []string{"rid"}, 1),
+		rowC(accRoad, []string{"aid"}, 1),
+		rowC(timeBand, []string{"tbid"}, 1),
+		rowC(severityDim, []string{"svid"}, 1),
+		rowC(casualtyType, []string{"ctid"}, 1),
+		rowC(junction, []string{"jid"}, 1),
+		// Level-1 keys determine their whole logical row (3).
+		rowC(vehicle, []string{"vid"}, 1),
+		rowC(casualty, []string{"cid"}, 1),
+		rowC(driver, []string{"did"}, 1),
+		// Bounded domains (40).
+		domC("accident", "time_slot", 24),
+		domC("accident", "severity", 3),
+		domC("accident", "weather", 9),
+		domC("accident", "road_type", 7),
+		domC("accident", "speed_limit", 8),
+		domC("accident", "urban", 3),
+		domC("vehicle", "vtype", 20),
+		domC("vehicle", "veh_age_band", 11),
+		domC("vehicle", "left_hand", 2),
+		domC("vehicle", "towing", 6),
+		domC("vehicle", "skidding", 6),
+		domC("casualty", "cas_class", 3),
+		domC("casualty", "sex", 2),
+		domC("casualty", "cas_severity", 3),
+		domC("casualty", "ped_flag", 2),
+		domC("driver", "drv_sex", 3),
+		domC("driver", "home_area", 3),
+		domC("driver", "journey_purpose", 7),
+		domC("pedestrian", "ped_location", 10),
+		domC("pedestrian", "ped_movement", 9),
+		domC("pedestrian", "ped_injury", 4),
+		domC("police_force", "pf_region", 12),
+		domC("local_authority", "la_region", 12),
+		domC("make", "mk_country", 30),
+		domC("make", "mk_active", 2),
+		domC("model", "md_fuel", 10),
+		domC("model", "md_doors", 6),
+		domC("naptan_stop", "stop_type", 12),
+		domC("naptan_stop", "stop_status", 3),
+		domC("locality", "loc_county", 60),
+		domC("acc_stop", "dist_band", 5),
+		domC("acc_stop", "side", 2),
+		domC("road", "road_class", 6),
+		domC("road", "road_surface", 6),
+		domC("road", "road_lighting", 7),
+		domC("time_band", "day_part", 4),
+		domC("severity_dim", "sv_code", 10),
+		domC("casualty_type", "ct_group", 20),
+		domC("junction", "j_control", 5),
+		domC("junction", "j_detail", 10),
+		// Targeted constraints, paper-style (22). The first is the paper's
+		// own example: at most N accidents per day.
+		fdC("accident", []string{"acc_date"}, []string{"aid"}, modFanIn(accBase, 1, dateBase)),
+		fdC("vehicle", []string{"aid"}, []string{"vid"}, 3),
+		fdC("casualty", []string{"aid"}, []string{"cid"}, 2),
+		fdC("model", []string{"mk_ref"}, []string{"mdid"}, modFanIn(1024, 1, 64)),
+		fdC("driver", []string{"vid"}, []string{"did"}, 1),
+		fdC("naptan_stop", []string{"locality_ref"}, []string{"stop_id"}, modFanIn(stopBase, 1, locBase)),
+		fdC("acc_stop", []string{"aid"}, []string{"stop_ref"}, 2),
+		fdC("vehicle", []string{"vid"}, []string{"make_id"}, 1),
+		fdC("casualty", []string{"cid"}, []string{"sex"}, 1),
+		rowC(accident, []string{"acc_date"}, 3*modFanIn(accBase, 1, dateBase)),
+		rowC(vehicle, []string{"make_id"}, 3*modFanIn(accBase, 3, 64)),
+		fdC("accident", []string{"aid"}, []string{"pf_id"}, 1),
+		fdC("accident", []string{"aid"}, []string{"la_id"}, 1),
+		fdC("vehicle", []string{"vid"}, []string{"model_id"}, 1),
+		fdC("vehicle", []string{"vid"}, []string{"veh_age_band"}, 1),
+		fdC("driver", []string{"did"}, []string{"drv_sex"}, 1),
+		fdC("casualty", []string{"cid"}, []string{"cas_age_band"}, 1),
+		rowC(naptanStop, []string{"locality_ref"}, 3*modFanIn(stopBase, 1, locBase)),
+		fdC("model", []string{"mdid"}, []string{"md_fuel"}, 1),
+		fdC("make", []string{"mkid"}, []string{"mk_country"}, 1),
+		fdC("vehicle", []string{"vid", "vtype"}, []string{"engine_cc_band"}, 1),
+		fdC("road", []string{"rid"}, []string{"road_class"}, 1),
+	}
+
+	d := &Dataset{
+		Name: "TFACC",
+		Spaces: []Space{
+			{Name: "accident", Base: accBase, Fixed: true},
+			{Name: "vehicle", Base: accBase * 3, Fixed: true},
+			{Name: "casualty", Base: accBase * 2, Fixed: true},
+			{Name: "stop", Base: stopBase, Fixed: true},
+			{Name: "acc_date", Base: dateBase, Fixed: true},
+			{Name: "locality", Base: locBase, Fixed: true},
+			{Name: "police_force", Base: 51, Fixed: true},
+			{Name: "local_authority", Base: 400, Fixed: true},
+			{Name: "make", Base: 64, Fixed: true},
+			{Name: "model", Base: 1024, Fixed: true},
+			{Name: "weather", Base: 9, Fixed: true},
+			{Name: "road", Base: 3000, Fixed: true},
+			{Name: "time_band", Base: 24, Fixed: true},
+			{Name: "severity_dim", Base: 3, Fixed: true},
+			{Name: "casualty_type", Base: 90, Fixed: true},
+			{Name: "junction", Base: 10, Fixed: true},
+		},
+		Rels:   rels,
+		Access: schema.MustAccessSchema(constraints...),
+	}
+	return d.finalize()
+}

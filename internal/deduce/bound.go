@@ -1,0 +1,114 @@
+// Package deduce implements the rule systems I_B and I_E of the paper
+// (Figures 1 and 2) as a shared closure engine over the equivalence classes
+// of Σ_Q.
+//
+// Working at the class level makes three of the five rules free:
+// Reflexivity (a class trivially determines itself), the Σ_Q side conditions
+// of Transitivity and Combination (equal attributes share a class), and the
+// equality-propagation loop of algorithm BCheck (lines 12–14 of Figure 3).
+// What remains is Actualization — instantiating each access constraint on
+// each atom that renames its relation — and the counter-based fixpoint of
+// Figure 3, which this package implements verbatim, with derivation
+// recording so QPlan can replay proofs as fetch plans.
+package deduce
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bound is a saturating non-negative integer used for cardinality
+// accounting: products of access-constraint bounds can overflow int64, and
+// saturation keeps every derived bound a sound "at most". The zero Bound is
+// 0; Unbounded represents "no finite bound derived".
+type Bound struct {
+	n   int64
+	inf bool
+}
+
+// Unbounded is the top element: no finite bound.
+var Unbounded = Bound{inf: true}
+
+// NewBound returns a finite bound; negative inputs are clamped to 0.
+func NewBound(n int64) Bound {
+	if n < 0 {
+		n = 0
+	}
+	return Bound{n: n}
+}
+
+// IsUnbounded reports whether the bound is infinite.
+func (b Bound) IsUnbounded() bool { return b.inf }
+
+// Int64 returns the finite value; it panics on Unbounded.
+func (b Bound) Int64() int64 {
+	if b.inf {
+		panic("deduce: Int64 on unbounded Bound")
+	}
+	return b.n
+}
+
+// Mul returns the saturating product of two bounds.
+func (b Bound) Mul(c Bound) Bound {
+	if b.inf || c.inf {
+		return Unbounded
+	}
+	if b.n == 0 || c.n == 0 {
+		return Bound{}
+	}
+	if b.n > math.MaxInt64/c.n {
+		return Bound{n: math.MaxInt64}
+	}
+	return Bound{n: b.n * c.n}
+}
+
+// Add returns the saturating sum of two bounds.
+func (b Bound) Add(c Bound) Bound {
+	if b.inf || c.inf {
+		return Unbounded
+	}
+	if b.n > math.MaxInt64-c.n {
+		return Bound{n: math.MaxInt64}
+	}
+	return Bound{n: b.n + c.n}
+}
+
+// Min returns the smaller of two bounds.
+func (b Bound) Min(c Bound) Bound {
+	if b.inf {
+		return c
+	}
+	if c.inf {
+		return b
+	}
+	if c.n < b.n {
+		return c
+	}
+	return b
+}
+
+// Less reports whether b is strictly smaller than c.
+func (b Bound) Less(c Bound) bool {
+	if b.inf {
+		return false
+	}
+	if c.inf {
+		return true
+	}
+	return b.n < c.n
+}
+
+// Saturated reports whether a finite bound hit the int64 ceiling.
+func (b Bound) Saturated() bool { return !b.inf && b.n == math.MaxInt64 }
+
+// String renders the bound; Unbounded renders as "∞" and a saturated value
+// as "≥9223372036854775807".
+func (b Bound) String() string {
+	if b.inf {
+		return "∞"
+	}
+	if b.Saturated() {
+		return fmt.Sprintf("≥%d", b.n)
+	}
+	return fmt.Sprintf("%d", b.n)
+}

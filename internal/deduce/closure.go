@@ -1,0 +1,195 @@
+package deduce
+
+import (
+	"sort"
+
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+)
+
+// Actualized is one application of the Actualization rule: access
+// constraint AC of A instantiated on atom Atom of the query, with its X and
+// Y attribute sets translated to Σ_Q equivalence classes. It plays the role
+// of the constraints φ in the set Γ of algorithm BCheck (Figure 3, line 1).
+type Actualized struct {
+	// Atom is the index of the renaming S_i the constraint was applied to.
+	Atom int
+	// AC is the underlying access constraint.
+	AC schema.AccessConstraint
+	// XClasses are the class ids of S_i[X], deduplicated and sorted
+	// (several X attributes may share a class).
+	XClasses []int
+	// YClasses are the class ids of S_i[Y], aligned with AC.Y (one entry
+	// per Y attribute, duplicates possible).
+	YClasses []int
+}
+
+// Actualize instantiates every constraint of A on every atom of the query
+// that renames the constraint's relation (the Actualization rule of I_B and
+// I_E). The result is ordered by ascending bound N, then by atom and
+// declaration order; the closure engine fires ready constraints in this
+// order, which biases derivations — and therefore the plans QPlan extracts
+// from them — toward cheap constraints first.
+func Actualize(cl *spc.Closure, a *schema.AccessSchema) []Actualized {
+	q := cl.Query()
+	var out []Actualized
+	for _, ac := range a.Constraints() {
+		for i, atom := range q.Atoms {
+			if atom.Rel != ac.Rel {
+				continue
+			}
+			act := Actualized{Atom: i, AC: ac}
+			seen := map[int]bool{}
+			for _, x := range ac.X {
+				id := cl.MustClass(spc.AttrRef{Atom: i, Attr: x})
+				if !seen[id] {
+					seen[id] = true
+					act.XClasses = append(act.XClasses, id)
+				}
+			}
+			sort.Ints(act.XClasses)
+			for _, y := range ac.Y {
+				act.YClasses = append(act.YClasses, cl.MustClass(spc.AttrRef{Atom: i, Attr: y}))
+			}
+			out = append(out, act)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AC.N < out[j].AC.N })
+	return out
+}
+
+// Step records one firing of an actualized constraint during the closure
+// computation: which constraint fired and which classes it covered for the
+// first time. The ordered step list is a derivation (proof) in I_B / I_E;
+// QPlan replays it as a fetch plan.
+type Step struct {
+	// Act indexes into the actualized-constraint list passed to Close.
+	Act int
+	// NewClasses are the classes first covered by this firing, ascending.
+	NewClasses []int
+}
+
+// Result is the outcome of a closure computation: the access closure of the
+// seed set (the paper's X* notation, proof of Theorem 3), per-class
+// cardinality bounds, and the derivation.
+type Result struct {
+	// Reached is the access closure: every class deducible from the seed.
+	Reached spc.ClassSet
+	// BoundOf[class] bounds the number of distinct values the class can
+	// take given fixed seed values; Unbounded for unreached classes.
+	BoundOf []Bound
+	// Steps is the derivation in firing order.
+	Steps []Step
+}
+
+// Close computes the access closure of seed under the actualized
+// constraints, implementing the counter-based fixpoint of algorithm BCheck
+// (Figure 3, lines 2–14) in O(Σ|φ| + |Q|) time after actualization:
+// each constraint keeps a counter of its still-uncovered X classes and a
+// per-class watch list L[class]; covering a class decrements the counters
+// of the constraints watching it, and a counter hitting zero fires the
+// constraint, covering its Y classes.
+//
+// Equality propagation (Figure 3 lines 12–14) is implicit: classes are Σ_Q
+// equivalence classes, so covering a class covers every attribute
+// occurrence Σ_Q-equal to it.
+func Close(cl *spc.Closure, acts []Actualized, seed spc.ClassSet) *Result {
+	n := cl.NumClasses()
+	res := &Result{Reached: seed.Clone(), BoundOf: make([]Bound, n)}
+	for i := range res.BoundOf {
+		res.BoundOf[i] = Unbounded
+	}
+	for _, c := range seed.Members() {
+		res.BoundOf[c] = NewBound(1)
+	}
+
+	counters := make([]int, len(acts))
+	watch := make([][]int, n) // class -> constraints watching it
+	queue := make([]int, 0, n)
+
+	for ai, act := range acts {
+		counters[ai] = len(act.XClasses)
+		for _, c := range act.XClasses {
+			if res.Reached.Has(c) {
+				counters[ai]--
+			} else {
+				watch[c] = append(watch[c], ai)
+			}
+		}
+	}
+
+	fired := make([]bool, len(acts))
+	fire := func(ai int) []int {
+		act := acts[ai]
+		// Bound of the fired X set: product of class bounds. Distinct
+		// X-value combinations are at most the product; each contributes at
+		// most N distinct Y combinations (Transitivity + Augmentation).
+		xb := NewBound(1)
+		for _, c := range act.XClasses {
+			xb = xb.Mul(res.BoundOf[c])
+		}
+		yb := xb.Mul(NewBound(act.AC.N))
+		var newClasses []int
+		for _, c := range act.YClasses {
+			if !res.Reached.Has(c) {
+				res.Reached.Add(c)
+				res.BoundOf[c] = yb
+				newClasses = append(newClasses, c)
+			}
+		}
+		sort.Ints(newClasses)
+		return newClasses
+	}
+
+	// Fire constraints that are ready immediately (all X in seed),
+	// in actualization (= ascending N) order.
+	for ai := range acts {
+		if counters[ai] == 0 && !fired[ai] {
+			fired[ai] = true
+			if newClasses := fire(ai); len(newClasses) > 0 {
+				res.Steps = append(res.Steps, Step{Act: ai, NewClasses: newClasses})
+				queue = append(queue, newClasses...)
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, ai := range watch[c] {
+			counters[ai]--
+			if counters[ai] == 0 && !fired[ai] {
+				fired[ai] = true
+				if newClasses := fire(ai); len(newClasses) > 0 {
+					res.Steps = append(res.Steps, Step{Act: ai, NewClasses: newClasses})
+					queue = append(queue, newClasses...)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// BoundOfSet returns the product of the class bounds of a set: an upper
+// bound on the number of distinct value combinations the set can take.
+func (r *Result) BoundOfSet(s spc.ClassSet) Bound {
+	b := NewBound(1)
+	for _, c := range s.Members() {
+		b = b.Mul(r.BoundOf[c])
+	}
+	return b
+}
+
+// Covers reports whether the closure reached every class of s.
+func (r *Result) Covers(s spc.ClassSet) bool { return r.Reached.ContainsAll(s) }
+
+// Missing returns the classes of s the closure did not reach, ascending.
+func (r *Result) Missing(s spc.ClassSet) []int {
+	var out []int
+	for _, c := range s.Members() {
+		if !r.Reached.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package discover
+
+import (
+	"testing"
+
+	"bcq/internal/datagen"
+	"bcq/internal/schema"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+func fixtureDB(t *testing.T) *storage.Database {
+	t.Helper()
+	cat := schema.MustCatalog(schema.MustRelation("r", "k", "grp", "dom"))
+	db := storage.NewDatabase(cat)
+	// 24 rows: k unique, 6 keys per grp (4 groups), dom cycles 0..2.
+	for i := int64(0); i < 24; i++ {
+		if err := db.Insert("r", value.Tuple{value.Int(i), value.Int(i % 4), value.Int(i % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestMeasureExact(t *testing.T) {
+	db := fixtureDB(t)
+	cases := []struct {
+		x, y []string
+		want int64
+	}{
+		{nil, []string{"k"}, 24},
+		{nil, []string{"dom"}, 3},
+		{[]string{"k"}, []string{"grp"}, 1},
+		{[]string{"grp"}, []string{"k"}, 6},
+		{[]string{"dom"}, []string{"k"}, 8},
+		{[]string{"grp", "dom"}, []string{"k"}, 2},
+	}
+	for _, c := range cases {
+		got, err := Measure(db, "r", c.x, c.y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Measure(%v -> %v) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+	if _, err := Measure(db, "nope", nil, []string{"k"}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := Measure(db, "r", []string{"zz"}, []string{"k"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestRelationDiscovery(t *testing.T) {
+	db := fixtureDB(t)
+	ds, err := Relation(db, "r", Options{MaxN: 10, MaxXSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]int64{}
+	for _, d := range ds {
+		found[d.Constraint.String()] = d.MeasuredN
+	}
+	// Key-like: k determines the whole row.
+	if n, ok := found["r: (k) -> (dom, grp, 1)"]; !ok || n != 1 {
+		t.Errorf("row constraint missing or wrong: %v", found)
+	}
+	// Domain: at most 3 dom values overall.
+	if n, ok := found["r: () -> (dom, 3)"]; !ok || n != 3 {
+		t.Errorf("domain constraint missing: %v", found)
+	}
+	// Fan-out: 6 keys per group.
+	if n, ok := found["r: (grp) -> (k, 6)"]; !ok || n != 6 {
+		t.Errorf("fan-out constraint missing: %v", found)
+	}
+	// Pair LHS strictly tighter than either single: (grp, dom) -> (k, 2).
+	if n, ok := found["r: (dom, grp) -> (k, 2)"]; !ok || n != 2 {
+		t.Errorf("pair constraint missing: %v", found)
+	}
+	// ∅ -> k has 24 > MaxN: must be absent.
+	if _, ok := found["r: () -> (k, 24)"]; ok {
+		t.Error("over-budget domain constraint declared")
+	}
+	// Every discovered constraint must hold on the database.
+	sub, err := schema.NewAccessSchema(constraintsOf(ds)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Satisfies(sub); err != nil {
+		t.Errorf("discovered schema violated by its own data: %v", err)
+	}
+}
+
+func constraintsOf(ds []Discovered) []schema.AccessConstraint {
+	out := make([]schema.AccessConstraint, len(ds))
+	for i, d := range ds {
+		out[i] = d.Constraint
+	}
+	return out
+}
+
+func TestSlackFactor(t *testing.T) {
+	db := fixtureDB(t)
+	ds, err := Relation(db, "r", Options{MaxN: 10, SlackFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if d.Constraint.N < 2*d.MeasuredN {
+			t.Errorf("slack not applied: %s", d)
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	db := fixtureDB(t)
+	ok, err := Verify(db, schema.MustAccessConstraint("r", []string{"grp"}, []string{"k"}, 6))
+	if err != nil || !ok {
+		t.Errorf("true constraint rejected: %v %v", ok, err)
+	}
+	ok, err = Verify(db, schema.MustAccessConstraint("r", []string{"grp"}, []string{"k"}, 5))
+	if err != nil || ok {
+		t.Errorf("false constraint accepted: %v %v", ok, err)
+	}
+}
+
+func TestDiscoveryOnGeneratedDataset(t *testing.T) {
+	// The Social generator's declared schema must be re-discoverable: the
+	// discovered pool (with slack) must include constraints at least as
+	// tight as each declared one.
+	ds := datagen.Social()
+	db := ds.MustBuild(1.0 / 8)
+	found, err := Database(db, Options{MaxN: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, declared := range ds.Access.Constraints() {
+		matched := false
+		for _, d := range found {
+			c := d.Constraint
+			if c.Rel == declared.Rel && equalStrs(c.X, declared.X) && equalStrs(c.Y, declared.Y) && c.N <= declared.N {
+				matched = true
+				break
+			}
+		}
+		// The (photo, taggee) pair constraint needs MaxXSize 2; single
+		// scans cannot find it. Everything else must be found.
+		if !matched && len(declared.X) <= 1 {
+			t.Errorf("declared constraint not rediscovered: %s", declared)
+		}
+	}
+}
+
+func equalStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

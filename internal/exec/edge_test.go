@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"testing"
+
+	"bcq/internal/baseline"
+	"bcq/internal/core"
+	"bcq/internal/plan"
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// TestConstantFreeEffectivelyBounded: a query with NO constants can still
+// be effectively bounded when an empty-X constraint bootstraps the closure
+// (a bounded attribute domain is an index over nothing). This exercises
+// the ∅-lookup path through plan and executor.
+func TestConstantFreeEffectivelyBounded(t *testing.T) {
+	cat := schema.MustCatalog(schema.MustRelation("r", "m", "v", "junk"))
+	acc := schema.MustAccessSchema(
+		schema.MustAccessConstraint("r", nil, []string{"m"}, 12),
+		schema.MustAccessConstraint("r", []string{"m"}, []string{"v"}, 2),
+	)
+	q := spc.MustParse("select r.m, r.v from r", cat)
+	an, err := core.NewAnalysis(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.EBCheck().EffectivelyBounded {
+		t.Fatalf("constant-free query with domain bootstrap must be EB: %+v", an.EBCheck())
+	}
+	p, err := plan.QPlan(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat)
+	for i := int64(0); i < 200; i++ {
+		m := i % 12
+		v := (i % 24) / 12 // two v per m
+		if err := db.Insert("r", value.Tuple{value.Int(m), value.Int(v), value.Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.BuildIndexes(acc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 24 {
+		t.Errorf("answers = %d, want 24 distinct (m, v) pairs", len(res.Tuples))
+	}
+	if res.Stats.TuplesScanned != 0 {
+		t.Error("scanned despite bounded plan")
+	}
+	cl := p.Closure
+	hj, err := baseline.HashJoin(cl, db, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hj.Tuples) != len(res.Tuples) {
+		t.Errorf("baseline disagrees: %d vs %d", len(hj.Tuples), len(res.Tuples))
+	}
+}
+
+// TestRunWithoutIndexesFails: executing a plan against a database whose
+// indexes were never built must fail loudly, not silently scan.
+func TestRunWithoutIndexesFails(t *testing.T) {
+	db := socialDB(t) // has indexes
+	fresh := storage.NewDatabase(db.Catalog())
+	p := planQ0(t)
+	if _, err := Run(p, fresh); err == nil {
+		t.Fatal("plan ran against an unindexed database")
+	}
+}
+
+// TestRunParameterlessAtom: a pure existence subgoal (an atom with no
+// parameters) is verified with a single O(1) probe.
+func TestRunParameterlessAtom(t *testing.T) {
+	cat := schema.MustCatalog(
+		schema.MustRelation("r", "k", "v"),
+		schema.MustRelation("aux", "a", "b"),
+	)
+	acc := schema.MustAccessSchema(
+		schema.MustAccessConstraint("r", []string{"k"}, []string{"v"}, 2),
+	)
+	// aux contributes no parameters: Q is r's rows if aux is non-empty.
+	q := spc.MustParse("select r.v from r, aux where r.k = 1", cat)
+	an, err := core.NewAnalysis(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.EBCheck().EffectivelyBounded {
+		t.Fatalf("existence subgoal must not break EB: %+v", an.EBCheck())
+	}
+	p, err := plan.QPlan(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(withAux bool) *storage.Database {
+		db := storage.NewDatabase(cat)
+		if err := db.Insert("r", value.Tuple{value.Int(1), value.Int(7)}); err != nil {
+			t.Fatal(err)
+		}
+		if withAux {
+			if err := db.Insert("aux", value.Tuple{value.Int(0), value.Int(0)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.BuildIndexes(acc); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	res, err := Run(p, mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 {
+		t.Errorf("with aux: %v", res.Tuples)
+	}
+	res, err = Run(p, mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Errorf("empty aux must kill the query: %v", res.Tuples)
+	}
+}
+
+// TestRunWithinAtomEquality: a within-atom equality (x = y on the same
+// tuple) must be enforced by verification even when both attributes share
+// one class.
+func TestRunWithinAtomEquality(t *testing.T) {
+	cat := schema.MustCatalog(schema.MustRelation("r", "k", "x", "y"))
+	acc := schema.MustAccessSchema(
+		schema.MustAccessConstraint("r", []string{"k"}, []string{"x", "y"}, 4),
+	)
+	q := spc.MustParse("select r.x from r where r.k = 1 and r.x = r.y", cat)
+	an, err := core.NewAnalysis(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.QPlan(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat)
+	ins := func(k, x, y int64) {
+		t.Helper()
+		if err := db.Insert("r", value.Tuple{value.Int(k), value.Int(x), value.Int(y)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins(1, 5, 5) // matches
+	ins(1, 6, 7) // x != y
+	ins(1, 8, 8) // matches
+	ins(2, 9, 9) // wrong key
+	if err := db.BuildIndexes(acc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []value.Tuple{{value.Int(5)}, {value.Int(8)}}
+	if len(res.Tuples) != 2 || !res.Tuples[0].Equal(want[0]) || !res.Tuples[1].Equal(want[1]) {
+		t.Errorf("answer = %v, want %v", res.Tuples, want)
+	}
+}
+
+// TestRunDuplicateHeavyData: index entries collapse duplicates; the
+// executor's access must depend on distinct values only.
+func TestRunDuplicateHeavyData(t *testing.T) {
+	cat := schema.MustCatalog(schema.MustRelation("r", "k", "v", "seq"))
+	acc := schema.MustAccessSchema(
+		schema.MustAccessConstraint("r", []string{"k"}, []string{"v"}, 3),
+	)
+	q := spc.MustParse("select r.v from r where r.k = 0", cat)
+	an, err := core.NewAnalysis(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.QPlan(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, copies := range []int64{1, 100} {
+		db := storage.NewDatabase(cat)
+		for c := int64(0); c < copies; c++ {
+			for v := int64(0); v < 3; v++ {
+				if err := db.Insert("r", value.Tuple{value.Int(0), value.Int(v), value.Int(c)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := db.BuildIndexes(acc); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != 3 {
+			t.Fatalf("copies=%d: answers = %v", copies, res.Tuples)
+		}
+		if res.Stats.TuplesFetched != 3 {
+			t.Errorf("copies=%d: fetched %d, want 3 (distinct only)", copies, res.Stats.TuplesFetched)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package exec implements evalDQ (paper, Section 6): it evaluates an
+// effectively bounded SPC query by running a plan.Plan against the storage
+// engine, fetching a bounded subset D_Q of the database through the access
+// indices and computing the answer from D_Q alone. The number of tuples it
+// touches is at most the plan's FetchBound, independent of |D|.
+//
+// Execution follows the plan's three phases:
+//
+//  1. candidate growth: each fetch step probes its index once per distinct
+//     combination of candidate values of its X classes, adding the
+//     returned distinct Y-values to the per-class candidate sets;
+//  2. per-atom verification: each atom's verified row table R_i is either
+//     collected from a fetch step's entries (free) or retrieved through
+//     the atom's indexedness witness;
+//  3. join & project: the R_i are hash-joined in memory on shared Σ_Q
+//     classes — no data access — and projected onto Z.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"bcq/internal/plan"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// Result is a query answer plus the access statistics of the evaluation.
+type Result struct {
+	// Cols are the output column names (empty for Boolean queries).
+	Cols []string
+	// Tuples are the distinct answer tuples, sorted. For a Boolean query a
+	// single empty tuple means "true" and no tuples means "false".
+	Tuples []value.Tuple
+	// Stats are the storage accesses the evaluation performed.
+	Stats storage.Stats
+	// DQSize is |D_Q|: the number of distinct database tuples the
+	// evaluation fetched (witnesses, deduplicated per relation position).
+	DQSize int64
+}
+
+// Bool interprets a Boolean query's result.
+func (r *Result) Bool() bool { return len(r.Tuples) > 0 }
+
+// candSet is one class's candidate values: insertion-ordered (for
+// deterministic combo enumeration) with O(1) membership.
+type candSet struct {
+	vals []value.Value
+	has  map[value.Value]bool
+}
+
+func newCandSet() *candSet { return &candSet{has: make(map[value.Value]bool)} }
+
+func (s *candSet) add(v value.Value) {
+	if !s.has[v] {
+		s.has[v] = true
+		s.vals = append(s.vals, v)
+	}
+}
+
+// fetched is one recorded index probe: the X-combo used and the entries it
+// returned; kept only for steps some verification collects from.
+type fetched struct {
+	combo   value.Tuple
+	entries []storage.IndexEntry
+}
+
+// Run executes a bounded plan against a database. The database must have
+// indexes built for every constraint the plan uses (storage.BuildIndexes
+// with the access schema the plan was generated under).
+func Run(p *plan.Plan, db *storage.Database) (*Result, error) {
+	res := &Result{}
+	for _, col := range p.Query.Output {
+		res.Cols = append(res.Cols, col.As)
+	}
+	if p.Trivial {
+		return res, nil
+	}
+
+	stats := db.Stats()
+	before := *stats
+	dq := newDQTracker()
+
+	// Phase 0: seed candidate sets.
+	V := make([]*candSet, p.Closure.NumClasses())
+	for i := range V {
+		V[i] = newCandSet()
+	}
+	for _, s := range p.Seeds {
+		V[s.Class].add(s.Val)
+	}
+
+	// Which steps must retain their entries for verification?
+	retain := make([]bool, len(p.Steps))
+	for _, vs := range p.Verifies {
+		if vs.FromStep >= 0 {
+			retain[vs.FromStep] = true
+		}
+	}
+	recorded := make([][]fetched, len(p.Steps))
+
+	// Phase 1: candidate growth.
+	for si, st := range p.Steps {
+		combos, classOrder, err := enumCombos(V, st.XClasses)
+		if err != nil {
+			return nil, fmt.Errorf("exec: step %d: %w", si, err)
+		}
+		for _, combo := range combos {
+			// Assemble the lookup tuple position by position (several X
+			// positions may share a class).
+			xVals := make(value.Tuple, len(st.XClasses))
+			for k, c := range st.XClasses {
+				xVals[k] = combo[classOrder[c]]
+			}
+			entries, err := db.Fetch(st.AC, xVals)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				dq.add(st.AC.Rel, e.Pos)
+				for _, yi := range st.BindPos {
+					V[st.YClasses[yi]].add(e.Y[yi])
+				}
+			}
+			if retain[si] && len(entries) > 0 {
+				recorded[si] = append(recorded[si], fetched{combo: xVals.Clone(), entries: entries})
+			}
+		}
+	}
+
+	// Phase 2: verification — build R_i per atom.
+	type rowTable struct {
+		classes []int // column classes, aligned with row tuples
+		rows    []value.Tuple
+	}
+	tables := make([]rowTable, 0, len(p.Verifies))
+	for _, vs := range p.Verifies {
+		if vs.Exists {
+			ok, err := db.NonEmpty(p.Query.Atoms[vs.Atom].Rel)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return res, finish(res, stats, before, dq)
+			}
+			continue
+		}
+		classes := make([]int, len(vs.Row))
+		for k, src := range vs.Row {
+			classes[k] = src.Class
+		}
+		tbl := rowTable{classes: classes}
+		seen := map[string]bool{}
+		collect := func(combo value.Tuple, e storage.IndexEntry) {
+			row, ok := buildRow(vs, V, combo, e)
+			if !ok {
+				return
+			}
+			key := row.Key()
+			if !seen[key] {
+				seen[key] = true
+				tbl.rows = append(tbl.rows, row)
+			}
+		}
+		if vs.FromStep >= 0 {
+			for _, f := range recorded[vs.FromStep] {
+				for _, e := range f.entries {
+					collect(f.combo, e)
+				}
+			}
+		} else {
+			combos, classOrder, err := enumCombos(V, vs.XClasses)
+			if err != nil {
+				return nil, fmt.Errorf("exec: verify atom %d: %w", vs.Atom, err)
+			}
+			for _, combo := range combos {
+				xVals := make(value.Tuple, len(vs.XClasses))
+				for k, c := range vs.XClasses {
+					xVals[k] = combo[classOrder[c]]
+				}
+				entries, err := db.Fetch(vs.Witness, xVals)
+				if err != nil {
+					return nil, err
+				}
+				for _, e := range entries {
+					dq.add(vs.Witness.Rel, e.Pos)
+					collect(xVals, e)
+				}
+			}
+		}
+		if len(tbl.rows) == 0 {
+			return res, finish(res, stats, before, dq)
+		}
+		tables = append(tables, tbl)
+	}
+
+	// Phase 3: in-memory join on shared classes, then projection.
+	sort.SliceStable(tables, func(i, j int) bool { return len(tables[i].rows) < len(tables[j].rows) })
+
+	covered := make(map[int]int) // class -> column in the partial join
+	// Start from the seed constants so constant classes participate even
+	// when no atom carries them (they always do, but be defensive).
+	var joinCols []int
+	start := value.Tuple{}
+	for _, s := range p.Seeds {
+		covered[s.Class] = len(joinCols)
+		joinCols = append(joinCols, s.Class)
+		start = append(start, s.Val)
+	}
+	partial := []value.Tuple{start}
+
+	for _, tbl := range tables {
+		var sharedTblPos, sharedJoinPos, newTblPos []int
+		for k, c := range tbl.classes {
+			if j, ok := covered[c]; ok {
+				sharedTblPos = append(sharedTblPos, k)
+				sharedJoinPos = append(sharedJoinPos, j)
+			} else {
+				newTblPos = append(newTblPos, k)
+			}
+		}
+		// Hash the table rows on the shared columns.
+		hash := make(map[string][]value.Tuple, len(tbl.rows))
+		for _, row := range tbl.rows {
+			hash[value.KeyOf(row, sharedTblPos)] = append(hash[value.KeyOf(row, sharedTblPos)], row)
+		}
+		var next []value.Tuple
+		for _, b := range partial {
+			key := value.KeyOf(b, sharedJoinPos)
+			for _, row := range hash[key] {
+				nb := make(value.Tuple, len(b), len(b)+len(newTblPos))
+				copy(nb, b)
+				for _, k := range newTblPos {
+					nb = append(nb, row[k])
+				}
+				next = append(next, nb)
+			}
+		}
+		for _, k := range newTblPos {
+			covered[tbl.classes[k]] = len(joinCols)
+			joinCols = append(joinCols, tbl.classes[k])
+		}
+		partial = next
+		if len(partial) == 0 {
+			break
+		}
+	}
+
+	// Projection with deduplication.
+	seenOut := make(map[string]bool)
+	for _, b := range partial {
+		out := make(value.Tuple, len(p.OutputClasses))
+		for k, c := range p.OutputClasses {
+			j, ok := covered[c]
+			if !ok {
+				return nil, fmt.Errorf("exec: output class %d never joined (malformed plan)", c)
+			}
+			out[k] = b[j]
+		}
+		key := out.Key()
+		if !seenOut[key] {
+			seenOut[key] = true
+			res.Tuples = append(res.Tuples, out)
+		}
+	}
+	sort.Slice(res.Tuples, func(i, j int) bool { return res.Tuples[i].Compare(res.Tuples[j]) < 0 })
+	return res, finish(res, stats, before, dq)
+}
+
+// finish fills the result's statistics; it always returns nil so callers
+// can `return res, finish(...)`.
+func finish(res *Result, stats *storage.Stats, before storage.Stats, dq *dqTracker) error {
+	after := *stats
+	res.Stats = storage.Stats{
+		IndexLookups:  after.IndexLookups - before.IndexLookups,
+		TuplesFetched: after.TuplesFetched - before.TuplesFetched,
+		TuplesScanned: after.TuplesScanned - before.TuplesScanned,
+	}
+	res.DQSize = dq.size()
+	return nil
+}
+
+// buildRow assembles one verified row from a lookup combo and an index
+// entry, applying within-atom consistency checks and candidate-membership
+// filtering. Consistency sources are checked pairwise.
+func buildRow(vs plan.VerifyStep, V []*candSet, combo value.Tuple, e storage.IndexEntry) (value.Tuple, bool) {
+	get := func(src plan.RowSource) value.Value {
+		if src.FromX >= 0 {
+			return combo[src.FromX]
+		}
+		return e.Y[src.FromY]
+	}
+	row := make(value.Tuple, len(vs.Row))
+	for k, src := range vs.Row {
+		v := get(src)
+		if !V[src.Class].has[v] {
+			return nil, false
+		}
+		row[k] = v
+	}
+	for k := 0; k+1 < len(vs.Consistency); k += 2 {
+		if get(vs.Consistency[k]) != get(vs.Consistency[k+1]) {
+			return nil, false
+		}
+	}
+	return row, true
+}
+
+// enumCombos enumerates, in deterministic order, every combination of
+// candidate values over the distinct classes referenced. It returns the
+// combos (each a tuple over the distinct classes) and a map from class to
+// its position within a combo.
+func enumCombos(V []*candSet, classes []int) ([]value.Tuple, map[int]int, error) {
+	classOrder := make(map[int]int)
+	var unique []int
+	for _, c := range classes {
+		if _, seen := classOrder[c]; !seen {
+			classOrder[c] = len(unique)
+			unique = append(unique, c)
+		}
+	}
+	combos := []value.Tuple{{}}
+	for _, c := range unique {
+		vals := V[c].vals
+		if len(vals) == 0 {
+			return nil, classOrder, nil // no candidates: no combos
+		}
+		next := make([]value.Tuple, 0, len(combos)*len(vals))
+		for _, base := range combos {
+			for _, v := range vals {
+				nb := make(value.Tuple, len(base), len(base)+1)
+				copy(nb, base)
+				next = append(next, append(nb, v))
+			}
+		}
+		combos = next
+	}
+	return combos, classOrder, nil
+}
+
+// dqTracker deduplicates fetched witness tuples per relation position,
+// measuring |D_Q|.
+type dqTracker struct {
+	seen map[string]map[int]bool
+	n    int64
+}
+
+func newDQTracker() *dqTracker { return &dqTracker{seen: make(map[string]map[int]bool)} }
+
+func (d *dqTracker) add(rel string, pos int) {
+	m := d.seen[rel]
+	if m == nil {
+		m = make(map[int]bool)
+		d.seen[rel] = m
+	}
+	if !m[pos] {
+		m[pos] = true
+		d.n++
+	}
+}
+
+func (d *dqTracker) size() int64 { return d.n }

@@ -1,0 +1,328 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bcq/internal/baseline"
+	"bcq/internal/core"
+	"bcq/internal/plan"
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// This file is the keystone property suite: over randomly generated
+// queries and randomly generated databases that satisfy the access schema,
+//
+//	(1) whenever EBCheck says yes, QPlan must produce a plan;
+//	(2) evalDQ must return exactly the baseline's answer;
+//	(3) evalDQ must never scan and never exceed the plan's fetch bound;
+//	(4) effective boundedness must imply boundedness (Proposition 2);
+//	(5) adding access constraints must never flip either checker to "no".
+//
+// The generator covers self-joins, Boolean queries, constant pins on
+// random attributes, chains and stars — far beyond the happy paths the
+// workload generator produces.
+
+// propCatalog is a small two-relation world with a key-like constraint, a
+// fan-out constraint, a bounded domain and an unconstrained attribute.
+func propCatalog() *schema.Catalog {
+	return schema.MustCatalog(
+		schema.MustRelation("r", "k", "grp", "dom", "free"),
+		schema.MustRelation("s", "rk", "tag", "sdom"),
+	)
+}
+
+func propAccess() *schema.AccessSchema {
+	return schema.MustAccessSchema(
+		schema.MustAccessConstraint("r", []string{"k"}, []string{"grp", "dom", "free"}, 1),
+		schema.MustAccessConstraint("r", []string{"grp"}, []string{"k", "dom"}, 8),
+		schema.MustAccessConstraint("r", nil, []string{"dom"}, 4),
+		schema.MustAccessConstraint("s", []string{"rk"}, []string{"tag", "sdom"}, 3),
+		schema.MustAccessConstraint("s", []string{"tag"}, []string{"rk"}, 12),
+		schema.MustAccessConstraint("s", nil, []string{"sdom"}, 3),
+	)
+}
+
+// propDB generates a random database satisfying propAccess: r has unique
+// keys with ≤8 keys per group, s has ≤3 rows per rk and ≤12 rk per tag.
+func propDB(t testing.TB, rng *rand.Rand) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase(propCatalog())
+	nKeys := 4 + rng.Intn(20)
+	tagOf := make(map[int64]int64)
+	rkPerTag := make(map[int64]map[int64]bool)
+	for k := 0; k < nKeys; k++ {
+		key := int64(k)
+		grp := key % 5 // ≤ ceil(24/5) = 5 ≤ 8 keys per group
+		dom := rng.Int63n(4)
+		free := rng.Int63n(1000)
+		if err := db.Insert("r", value.Tuple{value.Int(key), value.Int(grp), value.Int(dom), value.Int(free)}); err != nil {
+			t.Fatal(err)
+		}
+		// 0..3 s-rows per key, each tag reused by ≤ 12 distinct rk.
+		for j := 0; j < rng.Intn(4); j++ {
+			tag := rng.Int63n(3)
+			if m := rkPerTag[tag]; len(m) >= 12 && !m[key] {
+				continue
+			}
+			if rkPerTag[tag] == nil {
+				rkPerTag[tag] = map[int64]bool{}
+			}
+			rkPerTag[tag][key] = true
+			sdom := rng.Int63n(3)
+			if err := db.Insert("s", value.Tuple{value.Int(key), value.Int(tag), value.Int(sdom)}); err != nil {
+				t.Fatal(err)
+			}
+			tagOf[key] = tag
+		}
+	}
+	if err := db.BuildIndexes(propAccess()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildRowIndexes(propAccess()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// propQuery generates a random SPC query over the fixture: 1–3 atoms,
+// random joins among compatible attributes, random constant pins, random
+// output (possibly Boolean).
+func propQuery(rng *rand.Rand) *spc.Query {
+	q := &spc.Query{Name: "prop"}
+	nAtoms := 1 + rng.Intn(3)
+	attrsOf := map[string][]string{
+		"r": {"k", "grp", "dom", "free"},
+		"s": {"rk", "tag", "sdom"},
+	}
+	// Join-compatible attribute pools (same value space).
+	keyish := [][2]string{} // (alias idx encoded later)
+	for i := 0; i < nAtoms; i++ {
+		rel := "r"
+		if rng.Intn(2) == 0 {
+			rel = "s"
+		}
+		q.Atoms = append(q.Atoms, spc.Atom{Rel: rel, Alias: fmt.Sprintf("a%d", i)})
+	}
+	_ = keyish
+	keyAttr := func(i int) string {
+		if q.Atoms[i].Rel == "r" {
+			return "k"
+		}
+		return "rk"
+	}
+	// Chain joins on the key space so multi-atom queries are satisfiable.
+	for i := 1; i < len(q.Atoms); i++ {
+		q.EqAttrs = append(q.EqAttrs, spc.EqAttr{
+			L: spc.AttrRef{Atom: i - 1, Attr: keyAttr(i - 1)},
+			R: spc.AttrRef{Atom: i, Attr: keyAttr(i)},
+		})
+	}
+	// Random pins.
+	for i := range q.Atoms {
+		if rng.Intn(2) == 0 {
+			attrs := attrsOf[q.Atoms[i].Rel]
+			attr := attrs[rng.Intn(len(attrs))]
+			q.EqConsts = append(q.EqConsts, spc.EqConst{
+				A: spc.AttrRef{Atom: i, Attr: attr},
+				C: value.Int(rng.Int63n(10)),
+			})
+		}
+	}
+	// Random extra join (possibly within an atom) now and then.
+	if nAtoms > 1 && rng.Intn(3) == 0 {
+		i := rng.Intn(nAtoms)
+		j := rng.Intn(nAtoms)
+		ai := attrsOf[q.Atoms[i].Rel]
+		aj := attrsOf[q.Atoms[j].Rel]
+		q.EqAttrs = append(q.EqAttrs, spc.EqAttr{
+			L: spc.AttrRef{Atom: i, Attr: ai[rng.Intn(len(ai))]},
+			R: spc.AttrRef{Atom: j, Attr: aj[rng.Intn(len(aj))]},
+		})
+	}
+	// Output: Boolean 1 in 4, otherwise 1–2 random columns.
+	if rng.Intn(4) != 0 {
+		for n := 1 + rng.Intn(2); n > 0; n-- {
+			i := rng.Intn(nAtoms)
+			attrs := attrsOf[q.Atoms[i].Rel]
+			q.Output = append(q.Output, spc.OutputCol{
+				Ref: spc.AttrRef{Atom: i, Attr: attrs[rng.Intn(len(attrs))]},
+				As:  fmt.Sprintf("c%d", n),
+			})
+		}
+	}
+	return q
+}
+
+func TestPropertyRandomQueriesAgainstBaselines(t *testing.T) {
+	cat := propCatalog()
+	acc := propAccess()
+	trials := 400
+	if testing.Short() {
+		trials = 60
+	}
+	planned, ran := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		q := propQuery(rng)
+		if err := q.Validate(cat); err != nil {
+			t.Fatalf("trial %d: generator produced invalid query: %v", trial, err)
+		}
+		an, err := core.NewAnalysis(cat, q, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb := an.EBCheck()
+		// (4) EB ⇒ B.
+		if eb.EffectivelyBounded && !an.BCheck().Bounded {
+			t.Fatalf("trial %d: effectively bounded but not bounded: %s", trial, q)
+		}
+		// (5) monotonicity: dropping constraints must not make a non-EB
+		// query EB.
+		if !eb.EffectivelyBounded {
+			sub, err := core.NewAnalysis(cat, q, acc.Restrict(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sub.EBCheck().EffectivelyBounded {
+				t.Fatalf("trial %d: EB under fewer constraints but not under more: %s", trial, q)
+			}
+			continue
+		}
+		// (1) EB ⇒ plannable.
+		p, err := plan.QPlan(an)
+		if err != nil {
+			t.Fatalf("trial %d: EBCheck said yes but QPlan failed: %v\n  %s", trial, err, q)
+		}
+		planned++
+		db := propDB(t, rng)
+		res, err := Run(p, db)
+		if err != nil {
+			t.Fatalf("trial %d: evalDQ failed: %v\n  %s", trial, err, q)
+		}
+		ran++
+		// (2) exact agreement with both baselines.
+		hj, err := baseline.HashJoin(an.Closure, db, baseline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTuples(res.Tuples, hj.Tuples) {
+			t.Fatalf("trial %d: evalDQ %v != HashJoin %v\n  %s", trial, res.Tuples, hj.Tuples, q)
+		}
+		il, err := baseline.IndexLoop(an.Closure, db, baseline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTuples(res.Tuples, il.Tuples) {
+			t.Fatalf("trial %d: evalDQ %v != IndexLoop %v\n  %s", trial, res.Tuples, il.Tuples, q)
+		}
+		// (3) bounded access, no scans.
+		if res.Stats.TuplesScanned != 0 {
+			t.Fatalf("trial %d: evalDQ scanned %d tuples", trial, res.Stats.TuplesScanned)
+		}
+		if !p.FetchBound.IsUnbounded() && res.Stats.TuplesFetched > p.FetchBound.Int64() {
+			t.Fatalf("trial %d: fetched %d > bound %v\n  %s", trial, res.Stats.TuplesFetched, p.FetchBound, q)
+		}
+	}
+	if planned < trials/10 {
+		t.Errorf("only %d/%d random queries were effectively bounded; generator too weak", planned, trials)
+	}
+	t.Logf("property suite: %d/%d queries effectively bounded, %d executed", planned, trials, ran)
+}
+
+// TestPropertyLemma1 checks Q(D) = gQ(Q)(gD(D)) end to end on random
+// inputs: evaluating the rewritten query over the unified single-relation
+// database gives exactly the original answer.
+func TestPropertyLemma1(t *testing.T) {
+	cat := propCatalog()
+	trials := 120
+	if testing.Short() {
+		trials = 25
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(100000 + trial)))
+		q := propQuery(rng)
+		if err := q.Validate(cat); err != nil {
+			t.Fatal(err)
+		}
+		db := propDB(t, rng)
+
+		cl, err := spc.NewClosure(q, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := baseline.HashJoin(cl, db, baseline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		udb, err := storage.UnifyDatabase(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uq, err := spc.RewriteQueryUnified(q, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ucat, err := spc.UnifyCatalog(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ucl, err := spc.NewClosure(uq, ucat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unified, err := baseline.HashJoin(ucl, udb, baseline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTuples(direct.Tuples, unified.Tuples) {
+			t.Fatalf("trial %d: Lemma 1 violated:\n  Q(D)        = %v\n  gQ(Q)(gD(D)) = %v\n  %s",
+				trial, direct.Tuples, unified.Tuples, q)
+		}
+	}
+}
+
+// TestPropertyEffectivelyBoundedUnderUnification: effective boundedness is
+// preserved by the Lemma 1 rewriting (with the rewritten access schema).
+func TestPropertyLemma1PreservesEB(t *testing.T) {
+	cat := propCatalog()
+	acc := propAccess()
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(200000 + trial)))
+		q := propQuery(rng)
+		if err := q.Validate(cat); err != nil {
+			t.Fatal(err)
+		}
+		an, err := core.NewAnalysis(cat, q, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.EBCheck().EffectivelyBounded {
+			continue
+		}
+		uq, err := spc.RewriteQueryUnified(q, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ucat, err := spc.UnifyCatalog(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uacc, err := spc.RewriteAccessSchemaUnified(acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uan, err := core.NewAnalysis(ucat, uq, uacc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !uan.EBCheck().EffectivelyBounded {
+			t.Fatalf("trial %d: EB lost under Lemma 1 rewriting: %s", trial, q)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bcq/internal/datagen"
+	"bcq/internal/querygen"
+	"bcq/internal/spc"
+)
+
+// socialWorkload hand-builds the paper's Q0 (Example 1) over the Social
+// dataset's integer entity ids; the generated workload machinery needs
+// bounded-domain attributes Social's three tiny relations do not have.
+func socialWorkload(t *testing.T, ds *datagen.Dataset) []querygen.WorkloadQuery {
+	t.Helper()
+	q := spc.MustParse(`
+		query Q0:
+		select t1.photo_id
+		from in_album as t1, friends as t2, tagging as t3
+		where t1.album_id = 3 and t2.user_id = 5
+		  and t1.photo_id = t3.photo_id
+		  and t3.tagger_id = t2.friend_id and t3.taggee_id = t2.user_id`, ds.Catalog)
+	return []querygen.WorkloadQuery{{Query: q, NumSel: q.NumSel(), NumProd: q.NumProd(), WantEB: true}}
+}
+
+func TestFig5VaryDShape(t *testing.T) {
+	// The defining property of the whole paper: evalDQ's data access is
+	// flat in |D| while the baseline's work grows.
+	ds := datagen.Social()
+	cfg := QuickConfig()
+	cfg.Scales = []float64{1.0 / 32, 1.0 / 8, 1.0 / 2}
+	cfg.Workload = socialWorkload(t, ds)
+	panel, err := Fig5VaryD(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Points) != 3 {
+		t.Fatalf("points = %d", len(panel.Points))
+	}
+	first, last := panel.Points[0], panel.Points[len(panel.Points)-1]
+	if first.EvalTuples != last.EvalTuples {
+		t.Errorf("evalDQ tuples varied with |D|: %v -> %v", first.EvalTuples, last.EvalTuples)
+	}
+	if first.DQ != last.DQ {
+		t.Errorf("|D_Q| varied with |D|: %v -> %v", first.DQ, last.DQ)
+	}
+	if !(last.BaseTuples > first.BaseTuples*2) {
+		t.Errorf("baseline work did not grow: %v -> %v", first.BaseTuples, last.BaseTuples)
+	}
+}
+
+func TestFig5VaryDOnWorkloadDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds several databases")
+	}
+	cfg := QuickConfig()
+	panel, err := Fig5VaryD(datagen.MOT(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range panel.Points {
+		if pt.Queries == 0 {
+			t.Fatalf("no effectively bounded queries aggregated: %+v", pt)
+		}
+	}
+	first, last := panel.Points[0], panel.Points[len(panel.Points)-1]
+	if first.EvalTuples != last.EvalTuples {
+		t.Errorf("evalDQ tuples varied with |D|: %v -> %v", first.EvalTuples, last.EvalTuples)
+	}
+}
+
+func TestFig5VaryAImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds several databases")
+	}
+	cfg := QuickConfig()
+	panel, err := Fig5VaryA(datagen.TFACC(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Points) < 2 {
+		t.Fatalf("points = %d", len(panel.Points))
+	}
+	first, last := panel.Points[0], panel.Points[len(panel.Points)-1]
+	if last.DQ > first.DQ {
+		t.Errorf("more constraints worsened |D_Q|: %v -> %v", first.DQ, last.DQ)
+	}
+}
+
+func TestFig5GroupPanels(t *testing.T) {
+	cfg := QuickConfig()
+	selPanel, err := Fig5VarySel(datagen.MOT(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selPanel.Points) == 0 {
+		t.Fatal("no #-sel groups")
+	}
+	prodPanel, err := Fig5VaryProd(datagen.MOT(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prodPanel.Points) == 0 {
+		t.Fatal("no #-prod groups")
+	}
+	// #-prod groups must be sorted ascending.
+	for i := 1; i < len(prodPanel.Points); i++ {
+		if prodPanel.Points[i-1].X >= prodPanel.Points[i].X {
+			t.Errorf("points out of order: %v then %v", prodPanel.Points[i-1].X, prodPanel.Points[i].X)
+		}
+	}
+}
+
+func TestTable1AllAlgorithmsMeasured(t *testing.T) {
+	row, err := Table1(datagen.MOT(), QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Queries != 15 {
+		t.Errorf("queries = %d", row.Queries)
+	}
+	if row.BCheck == 0 || row.EBCheck == 0 || row.FindDPh == 0 || row.QPlan == 0 {
+		t.Errorf("missing measurements: %+v", row)
+	}
+	// The paper's headline: all four under 2.1 seconds. Ours should be
+	// far under; a generous sanity ceiling catches pathologies.
+	if row.QPlan.Seconds() > 2.1 {
+		t.Errorf("QPlan took %v (> the paper's 2.1 s!)", row.QPlan)
+	}
+}
+
+func TestCensusMatchesWorkloadIntent(t *testing.T) {
+	cfg := QuickConfig()
+	totalEB := 0
+	for _, ds := range []*datagen.Dataset{datagen.TFACC(), datagen.MOT(), datagen.TPCH()} {
+		c, err := Census(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Total != 15 {
+			t.Errorf("%s: %d queries", ds.Name, c.Total)
+		}
+		if c.Bounded < c.EffectivelyBounded {
+			t.Errorf("%s: bounded (%d) < effectively bounded (%d)?", ds.Name, c.Bounded, c.EffectivelyBounded)
+		}
+		totalEB += c.EffectivelyBounded
+	}
+	if totalEB != 33 {
+		t.Errorf("workload census = %d/45 effectively bounded, want 33 (paper: 35)", totalEB)
+	}
+}
+
+func TestTable2ScalingShapes(t *testing.T) {
+	points, err := Table2Scaling([]int{2, 4, 6, 8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The checker must stay fast while the exact solver grows much
+	// faster; compare growth factors loosely (timing noise!).
+	firstChecker, lastChecker := points[0].CheckerNS, points[len(points)-1].CheckerNS
+	if lastChecker > firstChecker*1000 {
+		t.Errorf("checker blew up: %v -> %v ns", firstChecker, lastChecker)
+	}
+	if points[len(points)-1].ExactNS == 0 {
+		t.Error("exact solver skipped within its limit")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	ds := datagen.Social()
+	cfg := QuickConfig()
+	cfg.Scales = []float64{1.0 / 32}
+	cfg.Workload = socialWorkload(t, ds)
+	panel, err := Fig5VaryD(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderPanel(&buf, panel)
+	if !strings.Contains(buf.String(), "evalDQ") {
+		t.Error("panel render missing series")
+	}
+	buf.Reset()
+	CSVPanel(&buf, panel)
+	if !strings.Contains(buf.String(), "evaldq_ms") {
+		t.Error("csv render missing header")
+	}
+	row, err := Table1(ds, cfg)
+	if err == nil {
+		buf.Reset()
+		RenderTable1(&buf, []Table1Row{row})
+		if !strings.Contains(buf.String(), "BCheck") {
+			t.Error("table1 render missing rows")
+		}
+	}
+	pts, err := Table2Scaling([]int{2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderTable2(&buf, pts)
+	if !strings.Contains(buf.String(), "NPO-complete") {
+		t.Error("table2 render missing statement")
+	}
+	buf.Reset()
+	RenderCensus(&buf, []CensusResult{{Dataset: "X", Total: 15, Bounded: 14, EffectivelyBounded: 11}})
+	if !strings.Contains(buf.String(), "Exp-1") {
+		t.Error("census render")
+	}
+}

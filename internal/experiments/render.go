@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// RenderPanel writes a figure panel as an aligned text table: one row per
+// x-position with evalDQ time, baseline time (or DNF), and |D_Q| — the
+// three series the paper plots in each Figure 5 sub-plot.
+func RenderPanel(w io.Writer, p Panel) {
+	fmt.Fprintf(w, "Figure %s — %s\n", p.ID, p.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  %s\tevalDQ (ms)\tMySQL-like (ms)\t|D_Q| (tuples)\tevalDQ fetched\tplan bound ≤\tqueries\n", p.XLabel)
+	for _, pt := range p.Points {
+		base := fmt.Sprintf("%.2f", pt.BaseMS)
+		if pt.DNF {
+			base = "DNF(>budget)"
+		}
+		fmt.Fprintf(tw, "  %s\t%.2f\t%s\t%.0f\t%.0f\t%.0f\t%d\n",
+			pt.X, pt.EvalMS, base, pt.DQ, pt.EvalTuples, pt.PlanBound, pt.Queries)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// RenderTable1 writes the Table 1 analogue.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1 — longest elapsed time per algorithm (15 queries each)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  Algorithm\t%s\n", strings.Join(datasetNames(rows), "\t"))
+	line := func(name string, get func(Table1Row) time.Duration) {
+		fmt.Fprintf(tw, "  %s", name)
+		for _, r := range rows {
+			fmt.Fprintf(tw, "\t%s", fmtDur(get(r)))
+		}
+		fmt.Fprintln(tw)
+	}
+	line("BCheck", func(r Table1Row) time.Duration { return r.BCheck })
+	line("EBCheck", func(r Table1Row) time.Duration { return r.EBCheck })
+	line("findDPh", func(r Table1Row) time.Duration { return r.FindDPh })
+	line("QPlan", func(r Table1Row) time.Duration { return r.QPlan })
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func datasetNames(rows []Table1Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Dataset
+	}
+	return out
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// RenderCensus writes the Exp-1 statistic.
+func RenderCensus(w io.Writer, rows []CensusResult) {
+	fmt.Fprintln(w, "Exp-1 — boundedness census of the 45-query workload")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  Dataset\tqueries\tbounded\teffectively bounded")
+	total, eb := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\n", r.Dataset, r.Total, r.Bounded, r.EffectivelyBounded)
+		total += r.Total
+		eb += r.EffectivelyBounded
+	}
+	tw.Flush()
+	if total > 0 {
+		fmt.Fprintf(w, "  overall: %d/%d effectively bounded (%.0f%%; paper: 35/45 = 78%%)\n\n",
+			eb, total, 100*float64(eb)/float64(total))
+	}
+}
+
+// RenderTable2 writes the complexity statement table plus the measured
+// scaling curves.
+func RenderTable2(w io.Writer, points []Table2Point) {
+	fmt.Fprintln(w, "Table 2 — complexity bounds (statement) and measured scaling")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, row := range Table2Statement() {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", row[0], row[1], row[2])
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  |Q| (atoms)\tEBCheck (PTIME)\texact MDP (exponential)")
+	for _, pt := range points {
+		exact := "—"
+		if pt.ExactNS > 0 {
+			exact = fmtDur(time.Duration(int64(pt.ExactNS)))
+		}
+		fmt.Fprintf(tw, "  %d\t%s\t%s\n", pt.Size, fmtDur(time.Duration(int64(pt.CheckerNS))), exact)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// CSVPanel renders a panel as CSV for external plotting.
+func CSVPanel(w io.Writer, p Panel) {
+	fmt.Fprintf(w, "# %s — %s\n", p.ID, p.Title)
+	fmt.Fprintf(w, "%s,evaldq_ms,baseline_ms,baseline_dnf,dq_tuples,evaldq_tuples,plan_bound,queries\n", strings.ReplaceAll(p.XLabel, " ", "_"))
+	for _, pt := range p.Points {
+		fmt.Fprintf(w, "%q,%.3f,%.3f,%v,%.1f,%.1f,%.1f,%d\n",
+			pt.X, pt.EvalMS, pt.BaseMS, pt.DNF, pt.DQ, pt.EvalTuples, pt.PlanBound, pt.Queries)
+	}
+}

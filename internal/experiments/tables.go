@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bcq/internal/core"
+	"bcq/internal/datagen"
+	"bcq/internal/plan"
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+)
+
+// Table1Row is one dataset column of the paper's Table 1: the longest
+// elapsed time of each algorithm over the dataset's 15 workload queries.
+type Table1Row struct {
+	Dataset string
+	BCheck  time.Duration
+	EBCheck time.Duration
+	FindDPh time.Duration
+	QPlan   time.Duration
+	Queries int
+}
+
+// Table1 measures the four algorithms on every workload query of a
+// dataset and reports the per-algorithm maximum (the paper's Table 1
+// reports the longest elapsed time per dataset).
+func Table1(ds *datagen.Dataset, cfg Config) (Table1Row, error) {
+	row := Table1Row{Dataset: ds.Name}
+	ws, err := workloadFor(ds, cfg)
+	if err != nil {
+		return row, err
+	}
+	row.Queries = len(ws)
+	maxDur := func(cur *time.Duration, d time.Duration) {
+		if d > *cur {
+			*cur = d
+		}
+	}
+	for _, w := range ws {
+		an, err := core.NewAnalysis(ds.Catalog, w.Query, ds.Access)
+		if err != nil {
+			return row, err
+		}
+		start := time.Now()
+		an.BCheck()
+		maxDur(&row.BCheck, time.Since(start))
+
+		start = time.Now()
+		eb := an.EBCheck()
+		maxDur(&row.EBCheck, time.Since(start))
+
+		start = time.Now()
+		an.FindDPh(0.9)
+		maxDur(&row.FindDPh, time.Since(start))
+
+		if eb.EffectivelyBounded {
+			start = time.Now()
+			if _, err := plan.QPlan(an); err != nil {
+				return row, err
+			}
+			maxDur(&row.QPlan, time.Since(start))
+		}
+	}
+	return row, nil
+}
+
+// CensusResult is Exp-1's headline statistic: how many workload queries
+// are (effectively) bounded.
+type CensusResult struct {
+	Dataset            string
+	Total              int
+	Bounded            int
+	EffectivelyBounded int
+}
+
+// Census runs BCheck and EBCheck over the workload.
+func Census(ds *datagen.Dataset, cfg Config) (CensusResult, error) {
+	res := CensusResult{Dataset: ds.Name}
+	ws, err := workloadFor(ds, cfg)
+	if err != nil {
+		return res, err
+	}
+	for _, w := range ws {
+		an, err := core.NewAnalysis(ds.Catalog, w.Query, ds.Access)
+		if err != nil {
+			return res, err
+		}
+		res.Total++
+		if an.BCheck().Bounded {
+			res.Bounded++
+		}
+		if an.EBCheck().EffectivelyBounded {
+			res.EffectivelyBounded++
+		}
+	}
+	return res, nil
+}
+
+// Table2Point is one measurement of the complexity-scaling experiment.
+type Table2Point struct {
+	// Size is the driven input size (number of query atoms for the PTIME
+	// checkers; number of candidate parameter classes for the exact
+	// solvers).
+	Size int
+	// CheckerNS is the mean EBCheck time; ExactNS the exact-solver time
+	// (0 when skipped).
+	CheckerNS float64
+	ExactNS   float64
+}
+
+// Table2Scaling reproduces Table 2 empirically: the PTIME problems
+// (Bnd, EBnd via BCheck/EBCheck) scale polynomially with the query size,
+// while the exact solvers for the NP-complete problems (DP via ExactMinDP)
+// blow up exponentially in the number of candidate parameters. The
+// generated query family is a chain join r1 ⋈ r2 ⋈ … with per-atom
+// constraints, sized by the atom count.
+func Table2Scaling(sizes []int, exactLimit int) ([]Table2Point, error) {
+	var out []Table2Point
+	for _, n := range sizes {
+		cat, acc, q, err := chainInstance(n)
+		if err != nil {
+			return nil, err
+		}
+		an, err := core.NewAnalysis(cat, q, acc)
+		if err != nil {
+			return nil, err
+		}
+		pt := Table2Point{Size: n}
+		const reps = 20
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			an.EBCheck()
+		}
+		pt.CheckerNS = float64(time.Since(start).Nanoseconds()) / reps
+
+		if n <= exactLimit {
+			start = time.Now()
+			if _, err := an.ExactMinDP(0.99, 64); err != nil {
+				return nil, err
+			}
+			pt.ExactNS = float64(time.Since(start).Nanoseconds())
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// chainInstance builds a size-parameterized instance: n relations
+// r1(k, ref, d, p), a chain query joining r_i.ref = r_{i+1}.k with a
+// parameter slot on every atom's key, and per-relation constraints. No
+// constants are pinned, so the exact dominating-parameter search faces n
+// candidate classes.
+func chainInstance(n int) (*schema.Catalog, *schema.AccessSchema, *spc.Query, error) {
+	var rels []*schema.Relation
+	var acs []schema.AccessConstraint
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("r%d", i)
+		rels = append(rels, schema.MustRelation(name, "k", "ref", "d", "p"))
+		acs = append(acs,
+			schema.MustAccessConstraint(name, []string{"k"}, []string{"ref", "d"}, 4),
+			schema.MustAccessConstraint(name, nil, []string{"d"}, 10),
+		)
+	}
+	cat, err := schema.NewCatalog(rels...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	acc, err := schema.NewAccessSchema(acs...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	q := &spc.Query{Name: fmt.Sprintf("chain%d", n)}
+	for i := 0; i < n; i++ {
+		q.Atoms = append(q.Atoms, spc.Atom{Rel: fmt.Sprintf("r%d", i), Alias: fmt.Sprintf("t%d", i)})
+		q.Placeholders = append(q.Placeholders, spc.AttrRef{Atom: i, Attr: "k"})
+		if i > 0 {
+			q.EqAttrs = append(q.EqAttrs, spc.EqAttr{
+				L: spc.AttrRef{Atom: i - 1, Attr: "ref"},
+				R: spc.AttrRef{Atom: i, Attr: "k"},
+			})
+		}
+	}
+	q.Output = append(q.Output, spc.OutputCol{Ref: spc.AttrRef{Atom: n - 1, Attr: "d"}})
+	if err := q.Validate(cat); err != nil {
+		return nil, nil, nil, err
+	}
+	return cat, acc, q, nil
+}
+
+// Table2Statement returns the complexity table itself (the paper's
+// Table 2), for rendering next to the measured curves.
+func Table2Statement() [][3]string {
+	return [][3]string{
+		{"problem", "M not predefined", "M part of the input"},
+		{"Bnd(Q,A)", "O(|Q|(|A|+|Q|)) — Thm 5", "NP-complete — Thm 8"},
+		{"EBnd(Q,A)", "O(|Q|(|A|+|Q|)) — Thm 6", "NP-complete — Thm 8"},
+		{"DP(Q,A)", "NP-complete — Thm 7", "NP-complete"},
+		{"MDP(Q,A)", "NPO-complete — Thm 7", "NPO-complete"},
+	}
+}

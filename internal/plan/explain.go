@@ -1,0 +1,53 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan in a human-readable form, one operation per
+// line, in execution order — the shape of the paper's Example 1 walkthrough
+// ("select a set T1 of at most 1000 pid's from in_album with aid = a0 ...").
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for %s\n", p.Query.Name)
+	if p.Trivial {
+		b.WriteString("  trivial: the query is unsatisfiable; answer is empty without data access\n")
+		return b.String()
+	}
+	if len(p.Seeds) > 0 {
+		b.WriteString("  seed:")
+		for _, s := range p.Seeds {
+			// ClassName renders the pinned constant.
+			fmt.Fprintf(&b, " %s", p.Closure.ClassName(s.Class))
+		}
+		b.WriteByte('\n')
+	}
+	for i, st := range p.Steps {
+		alias := p.Query.Atoms[st.Atom].Alias
+		fmt.Fprintf(&b, "  fetch T%d: index %s on %s — ≤ %s tuples\n", i+1, st.AC, alias, st.StepBound)
+	}
+	for _, vs := range p.Verifies {
+		alias := p.Query.Atoms[vs.Atom].Alias
+		switch {
+		case vs.Exists:
+			fmt.Fprintf(&b, "  verify %s: non-emptiness probe — ≤ 1 tuple\n", alias)
+		case vs.FromStep >= 0:
+			fmt.Fprintf(&b, "  verify %s: collect rows from T%d — no extra fetch\n", alias, vs.FromStep+1)
+		default:
+			fmt.Fprintf(&b, "  verify %s: retrieve via index %s — ≤ %s tuples\n", alias, vs.Witness, vs.StepBound)
+		}
+	}
+	cols := make([]string, len(p.Query.Output))
+	for i, col := range p.Query.Output {
+		cols[i] = col.As
+	}
+	if len(cols) == 0 {
+		b.WriteString("  output: exists (in-memory join of verified rows)\n")
+	} else {
+		fmt.Fprintf(&b, "  output: in-memory join, then π(%s)\n", strings.Join(cols, ", "))
+	}
+	fmt.Fprintf(&b, "  worst-case tuples fetched: %s (join input ≤ %s combinations)\n",
+		p.FetchBound, p.CombBound)
+	return b.String()
+}

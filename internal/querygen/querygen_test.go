@@ -1,0 +1,117 @@
+package querygen
+
+import (
+	"testing"
+
+	"bcq/internal/core"
+	"bcq/internal/datagen"
+	"bcq/internal/plan"
+)
+
+func TestWorkloadShape(t *testing.T) {
+	for _, ds := range []*datagen.Dataset{datagen.TFACC(), datagen.MOT(), datagen.TPCH()} {
+		ws, err := Workload(ds, Seed)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if len(ws) != 15 {
+			t.Fatalf("%s: %d queries, want 15", ds.Name, len(ws))
+		}
+		prods := map[int]int{}
+		for i, w := range ws {
+			if w.NumSel < 4 || w.NumSel > 8 {
+				t.Errorf("%s Q%d: #-sel = %d outside [4,8]", ds.Name, i+1, w.NumSel)
+			}
+			if w.NumProd < 0 || w.NumProd > 4 {
+				t.Errorf("%s Q%d: #-prod = %d outside [0,4]", ds.Name, i+1, w.NumProd)
+			}
+			prods[w.NumProd]++
+			if err := w.Query.Validate(ds.Catalog); err != nil {
+				t.Errorf("%s Q%d invalid: %v", ds.Name, i+1, err)
+			}
+		}
+		for p := 0; p <= 4; p++ {
+			if prods[p] != 3 {
+				t.Errorf("%s: %d queries with #-prod=%d, want 3", ds.Name, prods[p], p)
+			}
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	ds := datagen.TFACC()
+	a, err := Workload(ds, Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Workload(ds, Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Query.String() != b[i].Query.String() {
+			t.Fatalf("query %d differs between runs", i)
+		}
+	}
+}
+
+func TestWorkloadEBCensus(t *testing.T) {
+	// Exp-1 of the paper: 35 of 45 queries (~77%) effectively bounded.
+	// Our workload is designed for 33/45 (73%); the test pins both the
+	// intent flags and the EBCheck ground truth.
+	totalEB, total := 0, 0
+	for _, ds := range []*datagen.Dataset{datagen.TFACC(), datagen.MOT(), datagen.TPCH()} {
+		ws, err := Workload(ds, Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range ws {
+			an, err := core.NewAnalysis(ds.Catalog, w.Query, ds.Access)
+			if err != nil {
+				t.Fatalf("%s Q%d: %v", ds.Name, i+1, err)
+			}
+			got := an.EBCheck().EffectivelyBounded
+			if got != w.WantEB {
+				t.Errorf("%s Q%d: EBCheck = %v, intent = %v\n  %s",
+					ds.Name, i+1, got, w.WantEB, w.Query)
+			}
+			total++
+			if got {
+				totalEB++
+			}
+		}
+	}
+	frac := float64(totalEB) / float64(total)
+	if frac < 0.65 || frac > 0.85 {
+		t.Errorf("EB census = %d/%d (%.0f%%), want near the paper's 77%%", totalEB, total, frac*100)
+	}
+	t.Logf("census: %d/%d effectively bounded (%.0f%%)", totalEB, total, frac*100)
+}
+
+func TestWorkloadEBQueriesPlanAndRun(t *testing.T) {
+	// Every effectively bounded workload query must yield a plan with a
+	// finite fetch bound.
+	for _, ds := range []*datagen.Dataset{datagen.TFACC(), datagen.MOT(), datagen.TPCH()} {
+		ws, err := Workload(ds, Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range ws {
+			if !w.WantEB {
+				continue
+			}
+			an, err := core.NewAnalysis(ds.Catalog, w.Query, ds.Access)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := plan.QPlan(an)
+			if err != nil {
+				t.Errorf("%s Q%d: %v", ds.Name, i+1, err)
+				continue
+			}
+			if p.FetchBound.IsUnbounded() {
+				t.Errorf("%s Q%d: unbounded plan", ds.Name, i+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AccessConstraint is one access constraint X → (Y, N) on a named relation
+// (paper, Section 2). A database D satisfies it when for every X-value ā
+// there are at most N distinct Y-values among tuples with t[X] = ā, and an
+// index on X retrieves one witness tuple per distinct Y-value at a cost
+// measured in N.
+//
+// X may be empty: ∅ → (Y, N) bounds the number of distinct Y-values in the
+// whole relation (a "bounded domain" constraint with a trivial index).
+type AccessConstraint struct {
+	// Rel is the relation the constraint applies to.
+	Rel string
+	// X is the lookup attribute set (may be empty). Stored sorted.
+	X []string
+	// Y is the bounded attribute set (never empty). Stored sorted.
+	Y []string
+	// N is the cardinality bound, ≥ 1.
+	N int64
+}
+
+// NewAccessConstraint normalizes and validates a constraint: attribute sets
+// are deduplicated and sorted, Y must be non-empty, N ≥ 1. Attributes that
+// appear in both X and Y are kept only in X (they are trivially determined).
+func NewAccessConstraint(rel string, x, y []string, n int64) (AccessConstraint, error) {
+	var ac AccessConstraint
+	if rel == "" {
+		return ac, fmt.Errorf("schema: access constraint with empty relation name")
+	}
+	if n < 1 {
+		return ac, fmt.Errorf("schema: access constraint on %s with bound %d < 1", rel, n)
+	}
+	xs := dedupSorted(x)
+	inX := make(map[string]bool, len(xs))
+	for _, a := range xs {
+		inX[a] = true
+	}
+	var ys []string
+	for _, a := range dedupSorted(y) {
+		if !inX[a] {
+			ys = append(ys, a)
+		}
+	}
+	if len(ys) == 0 {
+		return ac, fmt.Errorf("schema: access constraint on %s has no Y attributes outside X", rel)
+	}
+	return AccessConstraint{Rel: rel, X: xs, Y: ys, N: n}, nil
+}
+
+// MustAccessConstraint is NewAccessConstraint that panics on error.
+func MustAccessConstraint(rel string, x, y []string, n int64) AccessConstraint {
+	ac, err := NewAccessConstraint(rel, x, y, n)
+	if err != nil {
+		panic(err)
+	}
+	return ac
+}
+
+func dedupSorted(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	w := 0
+	for i, a := range out {
+		if i == 0 || a != out[i-1] {
+			out[w] = a
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Covers reports whether attr is mentioned by the constraint (in X or Y).
+func (ac AccessConstraint) Covers(attr string) bool {
+	return contains(ac.X, attr) || contains(ac.Y, attr)
+}
+
+// XY returns the union X ∪ Y (sorted).
+func (ac AccessConstraint) XY() []string {
+	return dedupSorted(append(append([]string(nil), ac.X...), ac.Y...))
+}
+
+// Key returns a canonical identity string for the constraint, used to
+// deduplicate and to key index maps. Constraints that differ only in N are
+// distinct (a tighter bound subsumes a looser one but both may be declared).
+func (ac AccessConstraint) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%d", ac.Rel, strings.Join(ac.X, ","), strings.Join(ac.Y, ","), ac.N)
+}
+
+func contains(sorted []string, a string) bool {
+	i := sort.SearchStrings(sorted, a)
+	return i < len(sorted) && sorted[i] == a
+}
+
+// subset reports whether every element of a (sorted) is in b (sorted).
+func subset(a, b []string) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "rel: (x1, x2) -> (y1, y2, N)", matching the paper's
+// notation.
+func (ac AccessConstraint) String() string {
+	return fmt.Sprintf("%s: (%s) -> (%s, %d)", ac.Rel, strings.Join(ac.X, ", "), strings.Join(ac.Y, ", "), ac.N)
+}
+
+// Validate checks that the constraint's attributes exist in the catalog.
+func (ac AccessConstraint) Validate(c *Catalog) error {
+	r, ok := c.Relation(ac.Rel)
+	if !ok {
+		return fmt.Errorf("schema: access constraint on unknown relation %s", ac.Rel)
+	}
+	for _, a := range ac.X {
+		if !r.Has(a) {
+			return fmt.Errorf("schema: access constraint %s: unknown attribute %s", ac, a)
+		}
+	}
+	for _, a := range ac.Y {
+		if !r.Has(a) {
+			return fmt.Errorf("schema: access constraint %s: unknown attribute %s", ac, a)
+		}
+	}
+	return nil
+}
+
+// AccessSchema is a set of access constraints over a catalog.
+type AccessSchema struct {
+	constraints []AccessConstraint
+	byRel       map[string][]int // relation name -> indices into constraints
+	seen        map[string]bool  // canonical keys, for deduplication
+}
+
+// NewAccessSchema builds an access schema from constraints; duplicates
+// (same relation, X and Y) are rejected.
+func NewAccessSchema(constraints ...AccessConstraint) (*AccessSchema, error) {
+	a := &AccessSchema{byRel: make(map[string][]int), seen: make(map[string]bool)}
+	for _, ac := range constraints {
+		if err := a.Add(ac); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// MustAccessSchema is NewAccessSchema that panics on error.
+func MustAccessSchema(constraints ...AccessConstraint) *AccessSchema {
+	a, err := NewAccessSchema(constraints...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Add appends a constraint, rejecting exact duplicates.
+func (a *AccessSchema) Add(ac AccessConstraint) error {
+	k := ac.Key()
+	if a.seen[k] {
+		return fmt.Errorf("schema: duplicate access constraint %s", ac)
+	}
+	a.seen[k] = true
+	a.byRel[ac.Rel] = append(a.byRel[ac.Rel], len(a.constraints))
+	a.constraints = append(a.constraints, ac)
+	return nil
+}
+
+// Constraints returns all constraints in insertion order. Callers must not
+// mutate the returned slice.
+func (a *AccessSchema) Constraints() []AccessConstraint { return a.constraints }
+
+// Size returns ‖A‖, the number of access constraints.
+func (a *AccessSchema) Size() int { return len(a.constraints) }
+
+// ForRelation returns the constraints declared on the named relation.
+func (a *AccessSchema) ForRelation(rel string) []AccessConstraint {
+	idx := a.byRel[rel]
+	out := make([]AccessConstraint, len(idx))
+	for i, j := range idx {
+		out[i] = a.constraints[j]
+	}
+	return out
+}
+
+// Validate checks every constraint against the catalog.
+func (a *AccessSchema) Validate(c *Catalog) error {
+	for _, ac := range a.constraints {
+		if err := ac.Validate(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restrict returns a new access schema containing only the first n
+// constraints (insertion order). It is used by the ‖A‖-varying experiments
+// (Figure 5 b/f/j).
+func (a *AccessSchema) Restrict(n int) *AccessSchema {
+	if n > len(a.constraints) {
+		n = len(a.constraints)
+	}
+	out, err := NewAccessSchema(a.constraints[:n]...)
+	if err != nil {
+		// Impossible: a subset of a deduplicated list is deduplicated.
+		panic(err)
+	}
+	return out
+}
+
+// Indexed reports whether the attribute set Y (of relation rel) is "indexed
+// in A" (paper, Section 3.2): there exists X ⊆ Y with a constraint
+// X → (W, N) in A such that Y ⊆ X ∪ W. On success it returns a witness
+// constraint; when several witness constraints apply, the one with the
+// smallest bound N is returned (this makes generated verification steps
+// cheapest).
+//
+// The empty set is treated as indexed with no witness (ok, but witness.Rel
+// == ""): an atom with no parameters only needs a non-emptiness probe; see
+// DESIGN.md, substitution 4.
+func (a *AccessSchema) Indexed(rel string, y []string) (witness AccessConstraint, ok bool) {
+	ys := dedupSorted(y)
+	if len(ys) == 0 {
+		return AccessConstraint{}, true
+	}
+	found := false
+	for _, i := range a.byRel[rel] {
+		ac := a.constraints[i]
+		if !subset(ac.X, ys) {
+			continue
+		}
+		if !subset(ys, ac.XY()) {
+			continue
+		}
+		if !found || ac.N < witness.N {
+			witness = ac
+			found = true
+		}
+	}
+	return witness, found
+}
+
+// String renders the constraints one per line, in insertion order.
+func (a *AccessSchema) String() string {
+	var b strings.Builder
+	for i, ac := range a.constraints {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(ac.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDDL parses the repository's schema description language and returns
+// the catalog and access schema it declares. The language is line-based:
+//
+//	# comments run to end of line
+//	relation in_album(photo_id, album_id)
+//	relation friends(user_id, friend_id)
+//	constraint in_album: (album_id) -> (photo_id, 1000)
+//	constraint tagging: (photo_id, taggee_id) -> (tagger_id, 1)
+//	constraint calendar: () -> (month, 12)        # empty X: bounded domain
+//
+// Relations must be declared before constraints that reference them.
+// Identifiers are [A-Za-z_][A-Za-z0-9_]*.
+func ParseDDL(src string) (*Catalog, *AccessSchema, error) {
+	cat := &Catalog{byName: make(map[string]*Relation)}
+	acc := &AccessSchema{byRel: make(map[string][]int), seen: make(map[string]bool)}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("schema: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "relation "):
+			rel, err := parseRelationDecl(strings.TrimSpace(strings.TrimPrefix(line, "relation ")))
+			if err != nil {
+				return nil, nil, errf("%v", err)
+			}
+			if err := cat.Add(rel); err != nil {
+				return nil, nil, errf("%v", err)
+			}
+		case strings.HasPrefix(line, "constraint "):
+			ac, err := parseConstraintDecl(strings.TrimSpace(strings.TrimPrefix(line, "constraint ")))
+			if err != nil {
+				return nil, nil, errf("%v", err)
+			}
+			if err := ac.Validate(cat); err != nil {
+				return nil, nil, errf("%v", err)
+			}
+			if err := acc.Add(ac); err != nil {
+				return nil, nil, errf("%v", err)
+			}
+		default:
+			return nil, nil, errf("expected 'relation' or 'constraint', got %q", line)
+		}
+	}
+	return cat, acc, nil
+}
+
+// parseRelationDecl parses "name(a1, a2, ...)".
+func parseRelationDecl(s string) (*Relation, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("malformed relation declaration %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return nil, fmt.Errorf("bad relation name %q", name)
+	}
+	attrs, err := splitIdentList(s[open+1 : len(s)-1])
+	if err != nil {
+		return nil, err
+	}
+	return NewRelation(name, attrs...)
+}
+
+// parseConstraintDecl parses "rel: (x1, x2) -> (y1, y2, N)".
+func parseConstraintDecl(s string) (AccessConstraint, error) {
+	var zero AccessConstraint
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return zero, fmt.Errorf("malformed constraint %q: missing ':'", s)
+	}
+	rel := strings.TrimSpace(s[:colon])
+	if !isIdent(rel) {
+		return zero, fmt.Errorf("bad relation name %q in constraint", rel)
+	}
+	rest := strings.TrimSpace(s[colon+1:])
+	arrow := strings.Index(rest, "->")
+	if arrow < 0 {
+		return zero, fmt.Errorf("malformed constraint %q: missing '->'", s)
+	}
+	lhs := strings.TrimSpace(rest[:arrow])
+	rhs := strings.TrimSpace(rest[arrow+2:])
+	if !strings.HasPrefix(lhs, "(") || !strings.HasSuffix(lhs, ")") {
+		return zero, fmt.Errorf("constraint LHS %q must be parenthesized", lhs)
+	}
+	if !strings.HasPrefix(rhs, "(") || !strings.HasSuffix(rhs, ")") {
+		return zero, fmt.Errorf("constraint RHS %q must be parenthesized", rhs)
+	}
+	var x []string
+	if inner := strings.TrimSpace(lhs[1 : len(lhs)-1]); inner != "" {
+		var err error
+		x, err = splitIdentList(inner)
+		if err != nil {
+			return zero, err
+		}
+	}
+	rhsParts := strings.Split(rhs[1:len(rhs)-1], ",")
+	if len(rhsParts) < 2 {
+		return zero, fmt.Errorf("constraint RHS %q must end with a bound", rhs)
+	}
+	nTok := strings.TrimSpace(rhsParts[len(rhsParts)-1])
+	n, err := strconv.ParseInt(nTok, 10, 64)
+	if err != nil {
+		return zero, fmt.Errorf("bad bound %q in constraint", nTok)
+	}
+	var y []string
+	for _, p := range rhsParts[:len(rhsParts)-1] {
+		p = strings.TrimSpace(p)
+		if !isIdent(p) {
+			return zero, fmt.Errorf("bad attribute %q in constraint", p)
+		}
+		y = append(y, p)
+	}
+	return NewAccessConstraint(rel, x, y, n)
+}
+
+func splitIdentList(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if !isIdent(p) {
+			return nil, fmt.Errorf("bad identifier %q", p)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,264 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRelationValidation(t *testing.T) {
+	if _, err := NewRelation("", "a"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRelation("r"); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := NewRelation("r", "a", "a"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewRelation("r", "a", ""); err == nil {
+		t.Error("empty attribute accepted")
+	}
+	r, err := NewRelation("r", "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arity() != 3 || r.Name() != "r" {
+		t.Fatalf("relation = %v", r)
+	}
+	if r.Pos("b") != 1 || r.Pos("zz") != -1 {
+		t.Error("Pos wrong")
+	}
+	if !r.Has("c") || r.Has("d") {
+		t.Error("Has wrong")
+	}
+	if got := r.String(); got != "r(a, b, c)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRelationPositions(t *testing.T) {
+	r := MustRelation("r", "a", "b", "c")
+	pos, err := r.Positions([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos[0] != 2 || pos[1] != 0 {
+		t.Fatalf("Positions = %v", pos)
+	}
+	if _, err := r.Positions([]string{"nope"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := MustCatalog(MustRelation("a", "x"), MustRelation("b", "y", "z"))
+	if c.NumRelations() != 2 || c.NumAttrs() != 3 {
+		t.Fatalf("counts wrong: %d rels, %d attrs", c.NumRelations(), c.NumAttrs())
+	}
+	if _, ok := c.Relation("a"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := c.Relation("zz"); ok {
+		t.Error("phantom relation")
+	}
+	if err := c.Add(MustRelation("a", "q")); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	names := c.SortedNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("SortedNames = %v", names)
+	}
+}
+
+func TestNewAccessConstraintNormalization(t *testing.T) {
+	ac, err := NewAccessConstraint("r", []string{"b", "a", "b"}, []string{"c", "a", "d"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(ac.X, ",") != "a,b" {
+		t.Errorf("X = %v", ac.X)
+	}
+	// "a" is in X, so it is dropped from Y.
+	if strings.Join(ac.Y, ",") != "c,d" {
+		t.Errorf("Y = %v", ac.Y)
+	}
+	if _, err := NewAccessConstraint("r", []string{"a"}, []string{"a"}, 1); err == nil {
+		t.Error("Y ⊆ X accepted")
+	}
+	if _, err := NewAccessConstraint("r", nil, []string{"a"}, 0); err == nil {
+		t.Error("bound 0 accepted")
+	}
+	if _, err := NewAccessConstraint("", nil, []string{"a"}, 1); err == nil {
+		t.Error("empty relation accepted")
+	}
+}
+
+func TestAccessConstraintHelpers(t *testing.T) {
+	ac := MustAccessConstraint("r", []string{"x"}, []string{"y"}, 3)
+	if !ac.Covers("x") || !ac.Covers("y") || ac.Covers("z") {
+		t.Error("Covers wrong")
+	}
+	if strings.Join(ac.XY(), ",") != "x,y" {
+		t.Errorf("XY = %v", ac.XY())
+	}
+	if got := ac.String(); got != "r: (x) -> (y, 3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAccessConstraintValidate(t *testing.T) {
+	cat := MustCatalog(MustRelation("r", "x", "y"))
+	if err := MustAccessConstraint("r", []string{"x"}, []string{"y"}, 1).Validate(cat); err != nil {
+		t.Errorf("valid constraint rejected: %v", err)
+	}
+	if err := MustAccessConstraint("nope", []string{"x"}, []string{"y"}, 1).Validate(cat); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := MustAccessConstraint("r", []string{"q"}, []string{"y"}, 1).Validate(cat); err == nil {
+		t.Error("unknown X attribute accepted")
+	}
+	if err := MustAccessConstraint("r", []string{"x"}, []string{"q"}, 1).Validate(cat); err == nil {
+		t.Error("unknown Y attribute accepted")
+	}
+}
+
+func TestAccessSchemaBasics(t *testing.T) {
+	a := MustAccessSchema(
+		MustAccessConstraint("r", []string{"x"}, []string{"y"}, 10),
+		MustAccessConstraint("r", []string{"y"}, []string{"z"}, 2),
+		MustAccessConstraint("s", nil, []string{"m"}, 12),
+	)
+	if a.Size() != 3 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+	if got := len(a.ForRelation("r")); got != 2 {
+		t.Errorf("ForRelation(r) has %d constraints", got)
+	}
+	if err := a.Add(MustAccessConstraint("r", []string{"x"}, []string{"y"}, 10)); err == nil {
+		t.Error("exact duplicate accepted")
+	}
+	// Same X and Y but a different bound is a distinct (subsuming)
+	// constraint and must be allowed.
+	if err := a.Add(MustAccessConstraint("r", []string{"x"}, []string{"y"}, 99)); err != nil {
+		t.Errorf("same-shape constraint with different N rejected: %v", err)
+	}
+	r2 := a.Restrict(2)
+	if r2.Size() != 2 || a.Size() != 4 {
+		t.Error("Restrict must copy, not mutate")
+	}
+	if a.Restrict(99).Size() != 4 {
+		t.Error("Restrict beyond size must cap")
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	a := MustAccessSchema(
+		MustAccessConstraint("r", []string{"x"}, []string{"y", "w"}, 10),
+		MustAccessConstraint("r", []string{"x", "y"}, []string{"z"}, 2),
+	)
+	// {x, y} is indexed two ways: via (x) -> (y, w, 10) and via
+	// (x, y) -> (z, 2) whose X covers the whole set; the cheaper wins.
+	if w, ok := a.Indexed("r", []string{"y", "x"}); !ok || w.N != 2 {
+		t.Errorf("Indexed(x,y) = %v, %v", w, ok)
+	}
+	// {x, y, z} needs the second constraint (x,y -> z).
+	if w, ok := a.Indexed("r", []string{"z", "x", "y"}); !ok || w.N != 2 {
+		t.Errorf("Indexed(x,y,z) = %v, %v", w, ok)
+	}
+	// {z} alone: no constraint has X ⊆ {z}.
+	if _, ok := a.Indexed("r", []string{"z"}); ok {
+		t.Error("Indexed(z) should fail")
+	}
+	// Empty set is trivially indexed.
+	if _, ok := a.Indexed("r", nil); !ok {
+		t.Error("empty set must be indexed")
+	}
+	// Unknown relation: not indexed.
+	if _, ok := a.Indexed("nope", []string{"x"}); ok {
+		t.Error("unknown relation indexed")
+	}
+}
+
+func TestIndexedPrefersSmallestBound(t *testing.T) {
+	a := MustAccessSchema(
+		MustAccessConstraint("r", []string{"x"}, []string{"y"}, 100),
+		MustAccessConstraint("r", []string{"x", "y"}, []string{"w"}, 1),
+		MustAccessConstraint("r", []string{"y"}, []string{"x"}, 7),
+	)
+	// All three witness {x, y}; the N=1 one must win.
+	if w, ok := a.Indexed("r", []string{"x", "y"}); !ok || w.N != 1 {
+		t.Errorf("want the N=1 witness, got %v (ok=%v)", w, ok)
+	}
+}
+
+func TestParseDDL(t *testing.T) {
+	src := `
+# social network, Example 1
+relation in_album(photo_id, album_id)
+relation friends(user_id, friend_id)
+relation tagging(photo_id, tagger_id, taggee_id)
+
+constraint in_album: (album_id) -> (photo_id, 1000)
+constraint friends: (user_id) -> (friend_id, 5000)   # 5000 friends max
+constraint tagging: (photo_id, taggee_id) -> (tagger_id, 1)
+constraint tagging: () -> (taggee_id, 500000)
+`
+	cat, acc, err := ParseDDL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumRelations() != 3 {
+		t.Fatalf("relations = %d", cat.NumRelations())
+	}
+	if acc.Size() != 4 {
+		t.Fatalf("constraints = %d", acc.Size())
+	}
+	ac := acc.ForRelation("tagging")[0]
+	if ac.N != 1 || len(ac.X) != 2 {
+		t.Errorf("tagging constraint = %v", ac)
+	}
+	if empty := acc.ForRelation("tagging")[1]; len(empty.X) != 0 || empty.N != 500000 {
+		t.Errorf("empty-X constraint = %v", empty)
+	}
+}
+
+func TestParseDDLErrors(t *testing.T) {
+	bad := []string{
+		"relatoin r(a)",
+		"relation r(a)\nrelation r(b)",
+		"constraint r: (a) -> (b, 1)",                      // relation not declared
+		"relation r(a, b)\nconstraint r: a -> (b, 1)",      // missing parens
+		"relation r(a, b)\nconstraint r: (a) -> (b)",       // missing bound
+		"relation r(a, b)\nconstraint r: (a) -> (b, zero)", // bad bound
+		"relation r(a, b)\nconstraint r: (c) -> (b, 1)",    // unknown attr
+		"relation r(1a)",                                   // bad identifier
+	}
+	for _, src := range bad {
+		if _, _, err := ParseDDL(src); err == nil {
+			t.Errorf("ParseDDL accepted %q", src)
+		}
+	}
+}
+
+func TestParseDDLRoundTrip(t *testing.T) {
+	src := "relation r(a, b, c)\nconstraint r: (a) -> (b, 7)"
+	cat, acc, err := ParseDDL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Render and re-parse; should be stable.
+	rendered := ""
+	for _, r := range cat.Relations() {
+		rendered += "relation " + r.String() + "\n"
+	}
+	for _, ac := range acc.Constraints() {
+		rendered += "constraint " + ac.String() + "\n"
+	}
+	cat2, acc2, err := ParseDDL(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", rendered, err)
+	}
+	if cat2.String() != cat.String() || acc2.String() != acc.String() {
+		t.Error("round trip changed the schema")
+	}
+}

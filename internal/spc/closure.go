@@ -1,0 +1,331 @@
+package spc
+
+import (
+	"fmt"
+	"sort"
+
+	"bcq/internal/schema"
+	"bcq/internal/value"
+)
+
+// Closure is the equality closure Σ_Q of a query: the set of all equality
+// atoms derivable from the selection condition C by transitivity (paper,
+// Section 3.1). It is represented as a partition of *all* attribute
+// occurrences of the query — every attribute of every atom's relation, not
+// just the ones mentioned in C or Z, because deduction with access
+// constraints may pass through unmentioned attributes — into equivalence
+// classes, with at most one constant per class.
+//
+// All boundedness machinery works over the class ids this type assigns:
+// Σ_Q ⊢ x = y is an O(1) class comparison, Σ_Q ⊢ x = c is an O(1) constant
+// lookup, and the derived sets X_B, X_C, Z and X^i_Q are ClassSets.
+type Closure struct {
+	q   *Query
+	cat *schema.Catalog
+
+	refs    []AttrRef       // all attribute occurrences, in (atom, attr-position) order
+	refID   map[AttrRef]int // ref -> index into refs
+	classOf []int           // ref index -> class id (dense, 0-based)
+	members [][]AttrRef     // class id -> occurrences (in ref order)
+
+	consts      []value.Value // class id -> pinned constant (Null if none)
+	hasConst    []bool        // class id -> whether consts is meaningful
+	satisfiable bool          // false iff two distinct constants were equated
+
+	params     ClassSet   // classes of attributes appearing in C or Z
+	paramRefs  []AttrRef  // attribute occurrences appearing in C or Z (deduplicated, ordered)
+	xB, xC     ClassSet   // the paper's X_B and X_C, as class sets
+	out        ClassSet   // classes of Z
+	atomParams []ClassSet // X^i_Q per atom, as class sets
+	atomAttrs  [][]string // X^i_Q per atom, as sorted attribute-name lists
+}
+
+// NewClosure validates q against the catalog and computes Σ_Q and every
+// derived set. The computation is O(|Q| α(|Q|)) — a union–find pass over the
+// condition followed by linear scans — matching the paper's
+// "precomputed in O(|Q|²)" budget with room to spare.
+func NewClosure(q *Query, cat *schema.Catalog) (*Closure, error) {
+	if err := q.Validate(cat); err != nil {
+		return nil, err
+	}
+	c := &Closure{q: q, cat: cat, refID: make(map[AttrRef]int), satisfiable: true}
+
+	// Enumerate every attribute occurrence of every atom.
+	for i, at := range q.Atoms {
+		rel, _ := cat.Relation(at.Rel)
+		for _, a := range rel.Attrs() {
+			ref := AttrRef{Atom: i, Attr: a}
+			c.refID[ref] = len(c.refs)
+			c.refs = append(c.refs, ref)
+		}
+	}
+
+	// Union–find over occurrences.
+	parent := make([]int, len(c.refs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range q.EqAttrs {
+		union(c.refID[e.L], c.refID[e.R])
+	}
+
+	// Assign dense class ids in first-occurrence order (deterministic).
+	classID := make(map[int]int)
+	c.classOf = make([]int, len(c.refs))
+	for i := range c.refs {
+		root := find(i)
+		id, ok := classID[root]
+		if !ok {
+			id = len(c.members)
+			classID[root] = id
+			c.members = append(c.members, nil)
+		}
+		c.classOf[i] = id
+		c.members[id] = append(c.members[id], c.refs[i])
+	}
+
+	// Pin constants; detect unsatisfiability (S[A] = c and S[A] = d, c ≠ d).
+	c.consts = make([]value.Value, len(c.members))
+	c.hasConst = make([]bool, len(c.members))
+	for _, e := range q.EqConsts {
+		id := c.classOf[c.refID[e.A]]
+		if c.hasConst[id] && c.consts[id] != e.C {
+			c.satisfiable = false
+			continue
+		}
+		c.consts[id] = e.C
+		c.hasConst[id] = true
+	}
+
+	c.computeDerivedSets()
+	return c, nil
+}
+
+// computeDerivedSets fills params, X_B, X_C, Z-classes and X^i_Q.
+func (c *Closure) computeDerivedSets() {
+	n := len(c.members)
+	c.params = NewClassSet(n)
+	c.xB = NewClassSet(n)
+	c.xC = NewClassSet(n)
+	c.out = NewClassSet(n)
+	c.atomParams = make([]ClassSet, len(c.q.Atoms))
+	c.atomAttrs = make([][]string, len(c.q.Atoms))
+	for i := range c.atomParams {
+		c.atomParams[i] = NewClassSet(n)
+	}
+
+	seenRef := make(map[AttrRef]bool)
+	addParam := func(ref AttrRef) {
+		id := c.MustClass(ref)
+		c.params.Add(id)
+		c.atomParams[ref.Atom].Add(id)
+		if !seenRef[ref] {
+			seenRef[ref] = true
+			c.paramRefs = append(c.paramRefs, ref)
+		}
+	}
+	// Attribute-name sets per atom are accumulated separately because the
+	// indexedness test works on relation attribute names, not classes.
+	attrSets := make([]map[string]bool, len(c.q.Atoms))
+	for i := range attrSets {
+		attrSets[i] = make(map[string]bool)
+	}
+	note := func(ref AttrRef) {
+		addParam(ref)
+		attrSets[ref.Atom][ref.Attr] = true
+	}
+
+	inCond := NewClassSet(n)
+	for _, e := range c.q.EqAttrs {
+		note(e.L)
+		note(e.R)
+		inCond.Add(c.MustClass(e.L))
+	}
+	for _, e := range c.q.EqConsts {
+		note(e.A)
+		inCond.Add(c.MustClass(e.A))
+	}
+	// Placeholders are parameters (they join X^i_Q and the
+	// dominating-parameter pool) but impose no condition yet: they enter
+	// neither X_B nor X_C until instantiated.
+	for _, ref := range c.q.Placeholders {
+		note(ref)
+	}
+	for _, col := range c.q.Output {
+		note(col.Ref)
+		c.out.Add(c.MustClass(col.Ref))
+	}
+
+	// X_C: classes pinned to a constant (paper: Σ_Q ⊢ S[A] = c).
+	for id := 0; id < n; id++ {
+		if c.hasConst[id] {
+			c.xC.Add(id)
+		}
+	}
+	// X_B: classes that appear in the condition but are not output classes
+	// (paper: attributes in σ_C with Σ_Q ⊬ S[A] = z for every z ∈ Z).
+	for _, id := range inCond.Members() {
+		if !c.out.Has(id) {
+			c.xB.Add(id)
+		}
+	}
+
+	for i, set := range attrSets {
+		attrs := make([]string, 0, len(set))
+		for a := range set {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		c.atomAttrs[i] = attrs
+	}
+}
+
+// Query returns the underlying query.
+func (c *Closure) Query() *Query { return c.q }
+
+// Catalog returns the catalog the query was validated against.
+func (c *Closure) Catalog() *schema.Catalog { return c.cat }
+
+// Satisfiable reports whether Σ_Q is free of contradictions (no class is
+// pinned to two distinct constants). Unsatisfiable queries return the empty
+// answer on every database and are trivially bounded; the checking
+// algorithms treat them specially.
+func (c *Closure) Satisfiable() bool { return c.satisfiable }
+
+// NumClasses returns the number of equivalence classes.
+func (c *Closure) NumClasses() int { return len(c.members) }
+
+// NumRefs returns the number of attribute occurrences.
+func (c *Closure) NumRefs() int { return len(c.refs) }
+
+// Class returns the class id of an attribute occurrence, or -1 when the
+// occurrence does not exist (unknown atom or attribute).
+func (c *Closure) Class(ref AttrRef) int {
+	i, ok := c.refID[ref]
+	if !ok {
+		return -1
+	}
+	return c.classOf[i]
+}
+
+// MustClass is Class but panics on unknown occurrences; for internal use
+// where validation has already happened.
+func (c *Closure) MustClass(ref AttrRef) int {
+	id := c.Class(ref)
+	if id < 0 {
+		panic(fmt.Sprintf("spc: unknown attribute occurrence %v", ref))
+	}
+	return id
+}
+
+// Equal reports Σ_Q ⊢ a = b.
+func (c *Closure) Equal(a, b AttrRef) bool {
+	ia, ok := c.refID[a]
+	if !ok {
+		return false
+	}
+	ib, ok := c.refID[b]
+	if !ok {
+		return false
+	}
+	return c.classOf[ia] == c.classOf[ib]
+}
+
+// ConstOf returns the constant pinned to the class, if any
+// (Σ_Q ⊢ x = c for members x of the class).
+func (c *Closure) ConstOf(class int) (value.Value, bool) {
+	if class < 0 || class >= len(c.members) {
+		return value.Null, false
+	}
+	return c.consts[class], c.hasConst[class]
+}
+
+// Members returns the attribute occurrences in a class, in enumeration
+// order. Callers must not mutate the returned slice.
+func (c *Closure) Members(class int) []AttrRef { return c.members[class] }
+
+// MembersOfAtom returns the attribute names of atom i that belong to the
+// class.
+func (c *Closure) MembersOfAtom(class, atom int) []string {
+	var out []string
+	for _, ref := range c.members[class] {
+		if ref.Atom == atom {
+			out = append(out, ref.Attr)
+		}
+	}
+	return out
+}
+
+// Params returns the classes of the query's parameters (attributes in C or
+// Z).
+func (c *Closure) Params() ClassSet { return c.params }
+
+// ParamRefs returns the parameter occurrences in deterministic order.
+// Callers must not mutate the returned slice.
+func (c *Closure) ParamRefs() []AttrRef { return c.paramRefs }
+
+// XB returns the paper's X_B: classes of condition attributes not equal to
+// any output attribute.
+func (c *Closure) XB() ClassSet { return c.xB }
+
+// XC returns the paper's X_C: classes pinned to constants.
+func (c *Closure) XC() ClassSet { return c.xC }
+
+// OutClasses returns the classes of the projection list Z.
+func (c *Closure) OutClasses() ClassSet { return c.out }
+
+// AtomParams returns X^i_Q as a class set: classes of atom i's parameters.
+func (c *Closure) AtomParams(i int) ClassSet { return c.atomParams[i] }
+
+// AtomParamAttrs returns X^i_Q as a sorted list of attribute names of atom
+// i's relation — the form the indexedness test consumes.
+func (c *Closure) AtomParamAttrs(i int) []string { return c.atomAttrs[i] }
+
+// AtomInstantiated returns X^i_C: the attribute names of atom i whose class
+// is pinned to a constant.
+func (c *Closure) AtomInstantiated(i int) []string {
+	var out []string
+	for _, a := range c.atomAttrs[i] {
+		if c.hasConst[c.MustClass(AttrRef{Atom: i, Attr: a})] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ClassName renders a class for diagnostics as its first member
+// ("alias.attr"), with the constant appended when pinned.
+func (c *Closure) ClassName(class int) string {
+	if class < 0 || class >= len(c.members) || len(c.members[class]) == 0 {
+		return fmt.Sprintf("class%d", class)
+	}
+	s := c.q.RefString(c.members[class][0])
+	if c.hasConst[class] {
+		s += "=" + c.consts[class].String()
+	}
+	return s
+}
+
+// ClassSetNames renders a class set for diagnostics.
+func (c *Closure) ClassSetNames(s ClassSet) []string {
+	ids := s.Members()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = c.ClassName(id)
+	}
+	return out
+}

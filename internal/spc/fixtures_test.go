@@ -1,0 +1,51 @@
+package spc
+
+import (
+	"bcq/internal/schema"
+)
+
+// socialCatalog is the schema of the paper's Example 1: photo albums,
+// friendship and photo tagging on a social network.
+func socialCatalog() *schema.Catalog {
+	return schema.MustCatalog(
+		schema.MustRelation("in_album", "photo_id", "album_id"),
+		schema.MustRelation("friends", "user_id", "friend_id"),
+		schema.MustRelation("tagging", "photo_id", "tagger_id", "taggee_id"),
+	)
+}
+
+// socialAccess is the access schema A0 of Example 2: 1000 photos per album,
+// 5000 friends per user, one tag per (photo, taggee).
+func socialAccess() *schema.AccessSchema {
+	return schema.MustAccessSchema(
+		schema.MustAccessConstraint("in_album", []string{"album_id"}, []string{"photo_id"}, 1000),
+		schema.MustAccessConstraint("friends", []string{"user_id"}, []string{"friend_id"}, 5000),
+		schema.MustAccessConstraint("tagging", []string{"photo_id", "taggee_id"}, []string{"tagger_id"}, 1),
+	)
+}
+
+// q0Source is query Q0 of Example 1: photos in album a0 in which u0 is
+// tagged by one of u0's friends.
+const q0Source = `
+	query Q0:
+	select t1.photo_id
+	from in_album as t1, friends as t2, tagging as t3
+	where t1.album_id = 'a0'
+	  and t2.user_id = 'u0'
+	  and t1.photo_id = t3.photo_id
+	  and t3.tagger_id = t2.friend_id
+	  and t3.taggee_id = t2.user_id
+`
+
+// q1Source is query Q1: the same as Q0 but parameterized (no constants).
+const q1Source = `
+	query Q1:
+	select t1.photo_id
+	from in_album as t1, friends as t2, tagging as t3
+	where t1.photo_id = t3.photo_id
+	  and t3.tagger_id = t2.friend_id
+	  and t3.taggee_id = t2.user_id
+`
+
+func mustQ0() *Query { return MustParse(q0Source, socialCatalog()) }
+func mustQ1() *Query { return MustParse(q1Source, socialCatalog()) }

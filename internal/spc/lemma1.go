@@ -1,0 +1,108 @@
+package spc
+
+import (
+	"fmt"
+
+	"bcq/internal/schema"
+	"bcq/internal/value"
+)
+
+// This file implements the query-side half of Lemma 1: for any relational
+// schema R there is a single relation schema R, a linear-time database
+// transformation gD (see package storage) and a linear-time query rewriting
+// gQ such that Q(D) = gQ(Q)(gD(D)) for every SPC query Q and instance D.
+//
+// The encoding is the standard tagged union: the single relation
+// "unified" has a tag attribute naming the source relation plus one
+// namespaced column per source attribute; gD turns each tuple of relation r
+// into a wide tuple with tag = 'r' and nulls outside r's columns, and gQ
+// pins each atom's tag to its relation name. Because equality never holds
+// on nulls, conditions behave identically. Access constraints on r become
+// constraints with the tag attribute added to X.
+
+// UnifiedTagAttr is the discriminator attribute of the Lemma 1 encoding.
+const UnifiedTagAttr = "rel_tag"
+
+// UnifiedRelName is the name of the single relation produced by the
+// encoding.
+const UnifiedRelName = "unified"
+
+// UnifiedAttrName returns the namespaced column for attribute a of
+// relation rel in the unified schema.
+func UnifiedAttrName(rel, a string) string { return rel + "__" + a }
+
+// UnifyCatalog builds the single-relation catalog of Lemma 1 from a
+// multi-relation catalog.
+func UnifyCatalog(cat *schema.Catalog) (*schema.Catalog, error) {
+	attrs := []string{UnifiedTagAttr}
+	for _, r := range cat.Relations() {
+		for _, a := range r.Attrs() {
+			attrs = append(attrs, UnifiedAttrName(r.Name(), a))
+		}
+	}
+	wide, err := schema.NewRelation(UnifiedRelName, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return schema.NewCatalog(wide)
+}
+
+// RewriteQueryUnified implements gQ: it rewrites an SPC query over cat into
+// an equivalent SPC query over the unified single-relation catalog. The
+// rewriting is linear in |Q|.
+func RewriteQueryUnified(q *Query, cat *schema.Catalog) (*Query, error) {
+	if err := q.Validate(cat); err != nil {
+		return nil, err
+	}
+	out := &Query{Name: q.Name + "#unified"}
+	mapRef := func(ref AttrRef) AttrRef {
+		return AttrRef{Atom: ref.Atom, Attr: UnifiedAttrName(q.Atoms[ref.Atom].Rel, ref.Attr)}
+	}
+	for i, at := range q.Atoms {
+		alias := at.Alias
+		if alias == "" {
+			alias = fmt.Sprintf("u%d", i)
+		}
+		out.Atoms = append(out.Atoms, Atom{Rel: UnifiedRelName, Alias: alias})
+		out.EqConsts = append(out.EqConsts, EqConst{
+			A: AttrRef{Atom: i, Attr: UnifiedTagAttr},
+			C: value.Str(at.Rel),
+		})
+	}
+	for _, e := range q.EqAttrs {
+		out.EqAttrs = append(out.EqAttrs, EqAttr{L: mapRef(e.L), R: mapRef(e.R)})
+	}
+	for _, e := range q.EqConsts {
+		out.EqConsts = append(out.EqConsts, EqConst{A: mapRef(e.A), C: e.C})
+	}
+	for _, col := range q.Output {
+		out.Output = append(out.Output, OutputCol{Ref: mapRef(col.Ref), As: col.As})
+	}
+	return out, nil
+}
+
+// RewriteAccessSchemaUnified carries an access schema across the Lemma 1
+// encoding: X → (Y, N) on relation r becomes ({rel_tag} ∪ X') → (Y', N) on
+// the unified relation, where X' and Y' are the namespaced columns. Adding
+// the tag to X preserves both the cardinality bound (each tag slice is a
+// copy of the original relation) and the index (lookups always supply the
+// tag, which gQ pins to a constant).
+func RewriteAccessSchemaUnified(a *schema.AccessSchema) (*schema.AccessSchema, error) {
+	var constraints []schema.AccessConstraint
+	for _, ac := range a.Constraints() {
+		x := []string{UnifiedTagAttr}
+		for _, attr := range ac.X {
+			x = append(x, UnifiedAttrName(ac.Rel, attr))
+		}
+		var y []string
+		for _, attr := range ac.Y {
+			y = append(y, UnifiedAttrName(ac.Rel, attr))
+		}
+		nac, err := schema.NewAccessConstraint(UnifiedRelName, x, y, ac.N)
+		if err != nil {
+			return nil, err
+		}
+		constraints = append(constraints, nac)
+	}
+	return schema.NewAccessSchema(constraints...)
+}

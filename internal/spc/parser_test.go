@@ -1,0 +1,290 @@
+package spc
+
+import (
+	"strings"
+	"testing"
+
+	"bcq/internal/schema"
+	"bcq/internal/value"
+)
+
+func TestParseQ0(t *testing.T) {
+	q := mustQ0()
+	if q.Name != "Q0" {
+		t.Errorf("Name = %q", q.Name)
+	}
+	if len(q.Atoms) != 3 || q.NumProd() != 2 {
+		t.Fatalf("atoms = %v", q.Atoms)
+	}
+	if q.NumSel() != 5 {
+		t.Errorf("#-sel = %d, want 5", q.NumSel())
+	}
+	if len(q.EqConsts) != 2 || len(q.EqAttrs) != 3 {
+		t.Errorf("conds: %d consts, %d attr equalities", len(q.EqConsts), len(q.EqAttrs))
+	}
+	if q.IsBoolean() {
+		t.Error("Q0 is not Boolean")
+	}
+	if q.Output[0].Ref != (AttrRef{Atom: 0, Attr: "photo_id"}) {
+		t.Errorf("output = %v", q.Output)
+	}
+}
+
+func TestParseBoolean(t *testing.T) {
+	q := MustParse("select exists from friends where friends.user_id = 'u0'", socialCatalog())
+	if !q.IsBoolean() {
+		t.Fatal("exists query must be Boolean")
+	}
+	if len(q.EqConsts) != 1 {
+		t.Fatalf("conds = %v", q.EqConsts)
+	}
+}
+
+func TestParseBareAttributeResolution(t *testing.T) {
+	// album_id appears only in in_album: bare reference is fine.
+	q := MustParse("select photo_id from in_album where album_id = 'a'", socialCatalog())
+	if q.Output[0].Ref.Atom != 0 {
+		t.Error("bare attr resolved to wrong atom")
+	}
+	// photo_id appears in both in_album and tagging: ambiguous.
+	if _, err := Parse("select photo_id from in_album, tagging", socialCatalog()); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous bare attr accepted (err = %v)", err)
+	}
+}
+
+func TestParseSelfJoinAliases(t *testing.T) {
+	q := MustParse(`select f1.friend_id from friends as f1, friends as f2
+		where f1.friend_id = f2.user_id and f1.user_id = 'u0'`, socialCatalog())
+	if len(q.Atoms) != 2 || q.Atoms[0].Alias != "f1" || q.Atoms[1].Alias != "f2" {
+		t.Fatalf("atoms = %v", q.Atoms)
+	}
+	if q.EqAttrs[0].L != (AttrRef{Atom: 0, Attr: "friend_id"}) ||
+		q.EqAttrs[0].R != (AttrRef{Atom: 1, Attr: "user_id"}) {
+		t.Errorf("join = %v", q.EqAttrs[0])
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := MustParse(`select photo_id from tagging where tagger_id = 42 and taggee_id = 'it''s'`, socialCatalog())
+	if q.EqConsts[0].C != value.Int(42) {
+		t.Errorf("int literal = %v", q.EqConsts[0].C)
+	}
+	if q.EqConsts[1].C != value.Str("it's") {
+		t.Errorf("string literal = %v", q.EqConsts[1].C)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := MustParse(`select photo_id -- projection
+		from in_album -- the album table
+		where album_id = 9 -- pinned`, socialCatalog())
+	if q.NumSel() != 1 {
+		t.Fatalf("comments broke parsing: %v", q)
+	}
+}
+
+func TestParseOutputAlias(t *testing.T) {
+	q := MustParse("select t1.photo_id as pid from in_album as t1", socialCatalog())
+	if q.Output[0].As != "pid" {
+		t.Errorf("As = %q", q.Output[0].As)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := socialCatalog()
+	cases := []string{
+		"",
+		"select",
+		"select photo_id",                        // no from
+		"select photo_id from nowhere",           // unknown relation
+		"select nope from in_album",              // unknown attribute
+		"select t9.photo_id from in_album as t1", // unknown alias
+		"select photo_id from in_album where album_id < 5",    // non-equality
+		"select photo_id from in_album where album_id = null", // null literal
+		"select photo_id from in_album extra",                 // trailing tokens
+		"select photo_id from in_album as t1, friends as t1",  // duplicate alias
+		"select photo_id from in_album where album_id = 'x",   // unterminated string
+		"select photo_id from in_album where album_id =",      // missing rhs
+		"query : select photo_id from in_album",               // missing name
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, cat); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cat := socialCatalog()
+	for _, src := range []string{q0Source, q1Source,
+		"select exists from friends where friends.user_id = 1",
+		"select f1.friend_id from friends as f1, friends as f2 where f1.friend_id = f2.user_id",
+	} {
+		q := MustParse(src, cat)
+		q2, err := Parse(q.String(), cat)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", q.String(), err)
+		}
+		if q2.String() != q.String() {
+			t.Errorf("round trip unstable:\n  %s\n  %s", q.String(), q2.String())
+		}
+	}
+}
+
+func TestValidateDetectsBadRefs(t *testing.T) {
+	cat := socialCatalog()
+	q := &Query{
+		Name:   "bad",
+		Atoms:  []Atom{{Rel: "friends"}},
+		Output: []OutputCol{{Ref: AttrRef{Atom: 0, Attr: "nope"}}},
+	}
+	if err := q.Validate(cat); err == nil {
+		t.Error("bad output ref accepted")
+	}
+	q2 := &Query{
+		Name:    "bad2",
+		Atoms:   []Atom{{Rel: "friends"}},
+		EqAttrs: []EqAttr{{L: AttrRef{Atom: 5, Attr: "user_id"}, R: AttrRef{Atom: 0, Attr: "user_id"}}},
+	}
+	if err := q2.Validate(cat); err == nil {
+		t.Error("out-of-range atom accepted")
+	}
+	q3 := &Query{Name: "empty"}
+	if err := q3.Validate(cat); err == nil {
+		t.Error("query with no atoms accepted")
+	}
+}
+
+func TestQuerySize(t *testing.T) {
+	cat := socialCatalog()
+	q := mustQ0()
+	// 2 + 2 + 3 attributes + 5 conditions + 1 output = 13.
+	if got := q.Size(cat); got != 13 {
+		t.Errorf("Size = %d, want 13", got)
+	}
+}
+
+func TestInstantiateDeterministic(t *testing.T) {
+	q := mustQ1()
+	b := map[AttrRef]value.Value{
+		{Atom: 0, Attr: "album_id"}: value.Str("a0"),
+		{Atom: 1, Attr: "user_id"}:  value.Str("u0"),
+	}
+	s1 := q.Instantiate(b).String()
+	for i := 0; i < 20; i++ {
+		if s2 := q.Instantiate(b).String(); s2 != s1 {
+			t.Fatalf("Instantiate nondeterministic:\n%s\n%s", s1, s2)
+		}
+	}
+	inst := q.Instantiate(b)
+	if len(inst.EqConsts) != len(q.EqConsts)+2 {
+		t.Error("Instantiate must add two constant conditions")
+	}
+	if len(q.EqConsts) != 0 {
+		t.Error("Instantiate must not mutate the receiver")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := mustQ0()
+	c := q.Clone()
+	c.EqConsts = append(c.EqConsts, EqConst{A: AttrRef{Atom: 0, Attr: "photo_id"}, C: value.Int(1)})
+	c.Atoms[0].Alias = "zzz"
+	if len(q.EqConsts) != 2 || q.Atoms[0].Alias != "t1" {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestValidateFillsDefaults(t *testing.T) {
+	cat := socialCatalog()
+	q := &Query{
+		Atoms:  []Atom{{Rel: "friends"}},
+		Output: []OutputCol{{Ref: AttrRef{Atom: 0, Attr: "friend_id"}}},
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[0].Alias != "friends" {
+		t.Errorf("default alias = %q", q.Atoms[0].Alias)
+	}
+	if q.Output[0].As != "friend_id" {
+		t.Errorf("default output name = %q", q.Output[0].As)
+	}
+}
+
+func TestUnifiedCatalog(t *testing.T) {
+	cat := socialCatalog()
+	ucat, err := UnifyCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, ok := ucat.Relation(UnifiedRelName)
+	if !ok {
+		t.Fatal("no unified relation")
+	}
+	// 1 tag + 2 + 2 + 3 = 8 attributes.
+	if wide.Arity() != 8 {
+		t.Errorf("arity = %d, want 8", wide.Arity())
+	}
+	if !wide.Has(UnifiedAttrName("tagging", "tagger_id")) {
+		t.Error("missing namespaced attribute")
+	}
+}
+
+func TestRewriteQueryUnified(t *testing.T) {
+	cat := socialCatalog()
+	q := mustQ0()
+	uq, err := RewriteQueryUnified(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucat, _ := UnifyCatalog(cat)
+	if err := uq.Validate(ucat); err != nil {
+		t.Fatalf("rewritten query invalid: %v", err)
+	}
+	// Three tag pins plus the two original constants.
+	if len(uq.EqConsts) != 5 {
+		t.Errorf("EqConsts = %d, want 5", len(uq.EqConsts))
+	}
+	if len(uq.EqAttrs) != len(q.EqAttrs) {
+		t.Errorf("EqAttrs = %d, want %d", len(uq.EqAttrs), len(q.EqAttrs))
+	}
+	for _, at := range uq.Atoms {
+		if at.Rel != UnifiedRelName {
+			t.Errorf("atom %v not over unified relation", at)
+		}
+	}
+}
+
+func TestRewriteAccessSchemaUnified(t *testing.T) {
+	ua, err := RewriteAccessSchemaUnified(socialAccess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua.Size() != 3 {
+		t.Fatalf("size = %d", ua.Size())
+	}
+	for _, ac := range ua.Constraints() {
+		if ac.Rel != UnifiedRelName {
+			t.Errorf("constraint %v not on unified relation", ac)
+		}
+		found := false
+		for _, x := range ac.X {
+			if x == UnifiedTagAttr {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("constraint %v lacks the tag attribute in X", ac)
+		}
+	}
+}
+
+func TestQuerySizeUnknownRelationIgnored(t *testing.T) {
+	// Size must not panic for un-validated queries naming unknown relations.
+	q := &Query{Atoms: []Atom{{Rel: "ghost"}}}
+	if got := q.Size(schema.MustCatalog(schema.MustRelation("r", "a"))); got != 0 {
+		t.Errorf("Size = %d", got)
+	}
+}

@@ -1,0 +1,162 @@
+// Package storage is the in-memory relational storage engine the
+// reproduction runs on. It stands in for the paper's MySQL/MyISAM setup
+// (see DESIGN.md, substitution 1) and provides:
+//
+//   - relations as tuple bags positionally aligned with their schemas;
+//   - access-constraint indices: for a constraint X → (Y, N), a hash index
+//     from X-values to the ≤ N distinct Y-values, each with one witness
+//     tuple — exactly the paper's "create a table by projecting on X ∪ Y
+//     and index it on X";
+//   - row indices (single-attribute hash indices returning all matching
+//     full tuples) for the baseline evaluators;
+//   - access-statistics counters, so experiments can report tuples
+//     accessed as well as wall time;
+//   - verification that a database satisfies an access schema (D |= A);
+//   - the data-side half of Lemma 1 (gD).
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"bcq/internal/schema"
+	"bcq/internal/value"
+)
+
+// Stats counts storage accesses. The experiments reset it around each run
+// and report the totals; evalDQ's bounded-access claim is checked against
+// TuplesFetched.
+type Stats struct {
+	// IndexLookups counts probes of any index.
+	IndexLookups int64
+	// TuplesFetched counts tuples (or index entries, which carry a witness
+	// tuple each) handed to an evaluator.
+	TuplesFetched int64
+	// TuplesScanned counts tuples read by full scans.
+	TuplesScanned int64
+}
+
+// Total returns all tuples touched, by any access path.
+func (s *Stats) Total() int64 { return s.TuplesFetched + s.TuplesScanned }
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Relation is a bag of tuples positionally aligned with a schema.
+type Relation struct {
+	Schema *schema.Relation
+	Tuples []value.Tuple
+}
+
+// Database is a set of named relations plus their indices.
+type Database struct {
+	cat    *schema.Catalog
+	rels   map[string]*Relation
+	access map[string]*AccessIndex // keyed by AccessConstraint.Key()
+	rowIdx map[string]*RowIndex    // keyed by rel + "." + attr
+	stats  Stats
+}
+
+// NewDatabase creates an empty database with one empty relation per catalog
+// entry.
+func NewDatabase(cat *schema.Catalog) *Database {
+	db := &Database{
+		cat:    cat,
+		rels:   make(map[string]*Relation, cat.NumRelations()),
+		access: make(map[string]*AccessIndex),
+		rowIdx: make(map[string]*RowIndex),
+	}
+	for _, r := range cat.Relations() {
+		db.rels[r.Name()] = &Relation{Schema: r}
+	}
+	return db
+}
+
+// Catalog returns the catalog the database conforms to.
+func (db *Database) Catalog() *schema.Catalog { return db.cat }
+
+// Relation returns the named relation, or an error for unknown names.
+func (db *Database) Relation(name string) (*Relation, error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown relation %s", name)
+	}
+	return r, nil
+}
+
+// MustRelation is Relation that panics on unknown names.
+func (db *Database) MustRelation(name string) *Relation {
+	r, err := db.Relation(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Insert appends a tuple to the named relation after arity-checking it.
+// Indexes built before an Insert are invalidated; build indexes after
+// loading. It returns an error on unknown relations or arity mismatch.
+func (db *Database) Insert(rel string, t value.Tuple) error {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return err
+	}
+	if len(t) != r.Schema.Arity() {
+		return fmt.Errorf("storage: relation %s expects arity %d, got %d", rel, r.Schema.Arity(), len(t))
+	}
+	r.Tuples = append(r.Tuples, t)
+	return nil
+}
+
+// NumTuples returns |D|: the total number of tuples across all relations.
+func (db *Database) NumTuples() int64 {
+	var n int64
+	for _, r := range db.rels {
+		n += int64(len(r.Tuples))
+	}
+	return n
+}
+
+// Stats returns the access counters. The pointer is shared by all access
+// paths of this database.
+func (db *Database) Stats() *Stats { return &db.stats }
+
+// Scan iterates every tuple of a relation, counting each against the scan
+// statistics. The callback returning false stops the scan early.
+func (db *Database) Scan(rel string, f func(pos int, t value.Tuple) bool) error {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return err
+	}
+	for i, t := range r.Tuples {
+		db.stats.TuplesScanned++
+		if !f(i, t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// NonEmpty probes whether a relation has at least one tuple. The probe is
+// O(1) and counts a single fetched tuple when the relation is non-empty;
+// it backs the executor's existence checks for atoms with no parameters.
+func (db *Database) NonEmpty(rel string) (bool, error) {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return false, err
+	}
+	if len(r.Tuples) == 0 {
+		return false, nil
+	}
+	db.stats.TuplesFetched++
+	return true, nil
+}
+
+// SortRelations orders every relation's tuples lexicographically. Loads are
+// deterministic already; sorting exists so tests can compare whole
+// databases structurally.
+func (db *Database) SortRelations() {
+	for _, r := range db.rels {
+		sort.Slice(r.Tuples, func(i, j int) bool { return r.Tuples[i].Compare(r.Tuples[j]) < 0 })
+	}
+}

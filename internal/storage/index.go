@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"fmt"
+
+	"bcq/internal/schema"
+	"bcq/internal/value"
+)
+
+// IndexEntry is one distinct Y-value under some X-value of an access
+// constraint, together with a witness tuple. The paper's definition asks the
+// index to return a subset D' ⊆ D with one tuple per distinct Y-value; the
+// witness is that tuple.
+type IndexEntry struct {
+	// Y is the distinct Y-value (positionally aligned with the constraint's
+	// sorted Y attribute list).
+	Y value.Tuple
+	// Witness is the first tuple of the relation exhibiting this (X, Y)
+	// combination.
+	Witness value.Tuple
+	// Pos is the witness's position in the relation, identifying it for
+	// D_Q accounting.
+	Pos int
+}
+
+// AccessIndex materializes the index of one access constraint X → (Y, N):
+// a hash map from encoded X-values to the distinct Y-values (with
+// witnesses). Building it is a single pass over the relation; lookups are
+// O(1) plus the O(N) result.
+type AccessIndex struct {
+	AC   schema.AccessConstraint
+	xPos []int // positions of AC.X in the relation schema
+	yPos []int // positions of AC.Y in the relation schema
+	m    map[string][]IndexEntry
+	// maxGroup is the largest number of distinct Y-values observed under
+	// one X-value; BuildAccessIndex rejects relations where this exceeds
+	// AC.N, which is how D |= A is enforced.
+	maxGroup int
+}
+
+// BuildAccessIndex scans the relation and builds the index, verifying the
+// constraint's cardinality bound along the way. A violation (some X-value
+// with more than N distinct Y-values) is reported as an error carrying the
+// offending X-value, which makes D |= A checking a by-product of index
+// construction.
+func BuildAccessIndex(rel *Relation, ac schema.AccessConstraint) (*AccessIndex, error) {
+	xPos, err := rel.Schema.Positions(ac.X)
+	if err != nil {
+		return nil, err
+	}
+	yPos, err := rel.Schema.Positions(ac.Y)
+	if err != nil {
+		return nil, err
+	}
+	idx := &AccessIndex{AC: ac, xPos: xPos, yPos: yPos, m: make(map[string][]IndexEntry)}
+	seen := make(map[string]bool) // encoded (X, Y) pairs already indexed
+	for pos, t := range rel.Tuples {
+		xk := value.KeyOf(t, xPos)
+		yv := t.Project(yPos)
+		pairKey := xk + "\x00" + yv.Key()
+		if seen[pairKey] {
+			continue
+		}
+		seen[pairKey] = true
+		entries := append(idx.m[xk], IndexEntry{Y: yv, Witness: t, Pos: pos})
+		idx.m[xk] = entries
+		if len(entries) > idx.maxGroup {
+			idx.maxGroup = len(entries)
+		}
+		if int64(len(entries)) > ac.N {
+			return nil, &ViolationError{
+				AC:       ac,
+				XValue:   t.Project(xPos),
+				Distinct: int64(len(entries)),
+			}
+		}
+	}
+	return idx, nil
+}
+
+// ViolationError reports a cardinality violation found while building an
+// index or verifying D |= A.
+type ViolationError struct {
+	AC       schema.AccessConstraint
+	XValue   value.Tuple
+	Distinct int64
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("storage: constraint %s violated: X-value %s has at least %d distinct Y-values",
+		e.AC, e.XValue, e.Distinct)
+}
+
+// MaxGroup returns the largest distinct-Y group size observed, a useful
+// statistic for access-schema discovery.
+func (idx *AccessIndex) MaxGroup() int { return idx.maxGroup }
+
+// BuildIndexes builds the access index for every constraint of the schema
+// that applies to this database, verifying D |= A in the process. It is
+// idempotent: rebuilding replaces existing indexes.
+func (db *Database) BuildIndexes(a *schema.AccessSchema) error {
+	for _, ac := range a.Constraints() {
+		rel, err := db.Relation(ac.Rel)
+		if err != nil {
+			return err
+		}
+		idx, err := BuildAccessIndex(rel, ac)
+		if err != nil {
+			return err
+		}
+		db.access[ac.Key()] = idx
+	}
+	return nil
+}
+
+// Satisfies reports whether D |= A, returning the first violation found.
+// It is BuildIndexes without retaining the indexes.
+func (db *Database) Satisfies(a *schema.AccessSchema) error {
+	for _, ac := range a.Constraints() {
+		rel, err := db.Relation(ac.Rel)
+		if err != nil {
+			return err
+		}
+		if _, err := BuildAccessIndex(rel, ac); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fetch probes the access index of a constraint with an X-value and returns
+// the distinct Y-entries (at most N). The probe counts one index lookup and
+// one fetched tuple per returned entry. xVals must align with the
+// constraint's sorted X attribute list. Callers must not mutate the
+// returned slice.
+func (db *Database) Fetch(ac schema.AccessConstraint, xVals value.Tuple) ([]IndexEntry, error) {
+	idx, ok := db.access[ac.Key()]
+	if !ok {
+		return nil, fmt.Errorf("storage: no index built for constraint %s", ac)
+	}
+	if len(xVals) != len(ac.X) {
+		return nil, fmt.Errorf("storage: constraint %s expects %d lookup values, got %d", ac, len(ac.X), len(xVals))
+	}
+	db.stats.IndexLookups++
+	entries := idx.m[xVals.Key()]
+	db.stats.TuplesFetched += int64(len(entries))
+	return entries, nil
+}
+
+// HasAccessIndex reports whether an index for the constraint has been
+// built.
+func (db *Database) HasAccessIndex(ac schema.AccessConstraint) bool {
+	_, ok := db.access[ac.Key()]
+	return ok
+}
+
+// RowIndex is a conventional single-attribute secondary index: attribute
+// value -> positions of all matching tuples. The baseline evaluators use
+// these (the paper gave MySQL "all the indices specified in A"); unlike an
+// AccessIndex they return every duplicate, which is precisely why full-data
+// evaluation degrades as the data grows.
+type RowIndex struct {
+	Rel  string
+	Attr string
+	pos  int
+	m    map[value.Value][]int
+}
+
+// BuildRowIndexes builds a RowIndex for every attribute that appears in
+// some constraint's X (the "indices specified in A"). Idempotent.
+func (db *Database) BuildRowIndexes(a *schema.AccessSchema) error {
+	for _, ac := range a.Constraints() {
+		for _, attr := range ac.X {
+			if err := db.BuildRowIndex(ac.Rel, attr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildRowIndex builds (or rebuilds) the row index on one attribute.
+func (db *Database) BuildRowIndex(rel, attr string) error {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return err
+	}
+	p := r.Schema.Pos(attr)
+	if p < 0 {
+		return fmt.Errorf("storage: relation %s has no attribute %s", rel, attr)
+	}
+	key := rel + "." + attr
+	if _, exists := db.rowIdx[key]; exists {
+		return nil
+	}
+	idx := &RowIndex{Rel: rel, Attr: attr, pos: p, m: make(map[value.Value][]int)}
+	for i, t := range r.Tuples {
+		idx.m[t[p]] = append(idx.m[t[p]], i)
+	}
+	db.rowIdx[key] = idx
+	return nil
+}
+
+// HasRowIndex reports whether a row index exists on rel.attr.
+func (db *Database) HasRowIndex(rel, attr string) bool {
+	_, ok := db.rowIdx[rel+"."+attr]
+	return ok
+}
+
+// RowLookup returns the positions of all tuples of rel whose attr equals v,
+// using a row index if one exists (ok reports whether it did). The lookup
+// counts one index probe; the caller is responsible for counting the tuples
+// it then reads (baselines read full tuples).
+func (db *Database) RowLookup(rel, attr string, v value.Value) (positions []int, ok bool) {
+	idx, exists := db.rowIdx[rel+"."+attr]
+	if !exists {
+		return nil, false
+	}
+	db.stats.IndexLookups++
+	return idx.m[v], true
+}
+
+// ReadAt returns the tuple at a position of a relation, counting one
+// fetched tuple.
+func (db *Database) ReadAt(rel string, pos int) (value.Tuple, error) {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return nil, err
+	}
+	if pos < 0 || pos >= len(r.Tuples) {
+		return nil, fmt.Errorf("storage: position %d out of range for relation %s", pos, rel)
+	}
+	db.stats.TuplesFetched++
+	return r.Tuples[pos], nil
+}

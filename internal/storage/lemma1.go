@@ -1,0 +1,67 @@
+package storage
+
+import (
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+	"bcq/internal/value"
+)
+
+// UnifyDatabase implements gD of Lemma 1: it encodes a multi-relation
+// database as an instance of the single unified relation (see
+// spc.UnifyCatalog). Each tuple of relation r becomes one wide tuple with
+// rel_tag = 'r', r's values in r's namespaced columns and nulls elsewhere.
+// The transformation is linear in |D|.
+func UnifyDatabase(db *Database) (*Database, error) {
+	ucat, err := spc.UnifyCatalog(db.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	out := NewDatabase(ucat)
+	wide, _ := ucat.Relation(spc.UnifiedRelName)
+
+	// Column offset of each source relation within the wide schema.
+	offsets := make(map[string]int, db.Catalog().NumRelations())
+	off := 1 // position 0 is the tag
+	for _, r := range db.Catalog().Relations() {
+		offsets[r.Name()] = off
+		off += r.Arity()
+	}
+
+	for _, r := range db.Catalog().Relations() {
+		src, err := db.Relation(r.Name())
+		if err != nil {
+			return nil, err
+		}
+		base := offsets[r.Name()]
+		tag := value.Str(r.Name())
+		for _, t := range src.Tuples {
+			wideTuple := make(value.Tuple, wide.Arity())
+			wideTuple[0] = tag
+			copy(wideTuple[base:base+len(t)], t)
+			if err := out.Insert(spc.UnifiedRelName, wideTuple); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnifyAll bundles the three halves of Lemma 1: it returns the unified
+// database, the rewritten query and the rewritten access schema, such that
+// evaluating the rewritten query over the unified database (under the
+// rewritten schema) agrees with the original.
+func UnifyAll(db *Database, q *spc.Query, a *schema.AccessSchema) (*Database, *spc.Query, *schema.AccessSchema, error) {
+	udb, err := UnifyDatabase(db)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	uq, err := spc.RewriteQueryUnified(q, db.Catalog())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ua, err := spc.RewriteAccessSchemaUnified(a)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return udb, uq, ua, nil
+}

@@ -1,0 +1,98 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tup(vs ...Value) Tuple { return Tuple(vs) }
+
+func TestTupleCloneIndependent(t *testing.T) {
+	a := tup(Int(1), Str("x"))
+	b := a.Clone()
+	b[0] = Int(9)
+	if a[0] != Int(1) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestTupleEqual(t *testing.T) {
+	a := tup(Int(1), Null)
+	if !a.Equal(tup(Int(1), Null)) {
+		t.Error("identical tuples must be Equal (nulls are identical here)")
+	}
+	if a.Equal(tup(Int(1))) {
+		t.Error("length mismatch must not be Equal")
+	}
+	if a.Equal(tup(Int(2), Null)) {
+		t.Error("value mismatch must not be Equal")
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{tup(), tup(), 0},
+		{tup(Int(1)), tup(Int(1), Int(2)), -1},
+		{tup(Int(1), Int(2)), tup(Int(1)), 1},
+		{tup(Int(1), Int(2)), tup(Int(1), Int(3)), -1},
+		{tup(Str("b")), tup(Str("a")), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Adjacent-value boundary cases that naive separators would merge.
+	tuples := []Tuple{
+		tup(Str("a"), Str("b")),
+		tup(Str("ab"), Str("")),
+		tup(Str("ab")),
+		tup(Int(1), Int(2)),
+		tup(Int(1), Str("2")),
+		tup(Null, Null),
+		tup(),
+	}
+	seen := map[string]Tuple{}
+	for _, tu := range tuples {
+		k := tu.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("tuples %v and %v share key", prev, tu)
+		}
+		seen[k] = tu
+	}
+}
+
+func TestTupleKeyQuick(t *testing.T) {
+	f := func(a1, a2, b1, b2 string) bool {
+		ta := tup(Str(a1), Str(a2))
+		tb := tup(Str(b1), Str(b2))
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectAndKeyOf(t *testing.T) {
+	tu := tup(Int(10), Int(20), Int(30))
+	p := tu.Project([]int{2, 0})
+	if !p.Equal(tup(Int(30), Int(10))) {
+		t.Fatalf("Project = %v", p)
+	}
+	if KeyOf(tu, []int{2, 0}) != p.Key() {
+		t.Error("KeyOf must agree with Project().Key()")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := tup(Int(1), Str("a"), Null).String()
+	if got != "(1, 'a', null)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
