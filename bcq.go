@@ -21,6 +21,13 @@
 //	p, _ := a.Plan()           // Section 5.1 / algorithm QPlan
 //	res, _ := bcq.Execute(p, db) // evalDQ: bounded evaluation
 //
+// For serving workloads, the prepared-query engine folds the whole
+// pipeline behind a plan cache and a parallel bounded executor:
+//
+//	eng, _ := bcq.NewEngine(cat, acc, db, bcq.EngineOptions{Parallelism: 4})
+//	p, _ := eng.Prepare("select ... where album_id = ? and user_id = ?")
+//	res, _ := p.Exec(bcq.Int(3), bcq.Int(74))  // no re-planning, bounded fetches
+//
 // Databases live in an in-memory storage engine (NewDatabase, Insert,
 // BuildIndexes); the executors report how many tuples they touched, so the
 // boundedness guarantee is observable. See the examples/ directory and
@@ -30,6 +37,7 @@ package bcq
 import (
 	"bcq/internal/baseline"
 	"bcq/internal/core"
+	"bcq/internal/engine"
 	"bcq/internal/exec"
 	"bcq/internal/plan"
 	"bcq/internal/schema"
@@ -189,6 +197,36 @@ type Result = exec.Result
 // must have indexes built for the plan's access schema
 // (db.BuildIndexes(acc)).
 func Execute(p *Plan, db *Database) (*Result, error) { return exec.Run(p, db) }
+
+// ExecuteParallel is Execute with the plan's index probes fanned out over
+// a bounded pool of parallelism workers. Results are byte-identical to
+// Execute; the database must be sealed (BuildIndexes does that).
+func ExecuteParallel(p *Plan, db *Database, parallelism int) (*Result, error) {
+	return exec.New(parallelism).Run(p, db)
+}
+
+// Re-exported prepared-query engine types.
+type (
+	// Engine is a long-lived prepared-query service over one database:
+	// parse → analyze → plan runs once per query shape (LRU plan cache),
+	// bounded execution runs per request.
+	Engine = engine.Engine
+	// Prepared is a cached query plan ready for repeated execution.
+	Prepared = engine.Prepared
+	// EngineOptions tunes the plan cache and executor parallelism.
+	EngineOptions = engine.Options
+	// EngineStats exposes the engine counters (prepares, cache hits,
+	// misses, evictions, executions).
+	EngineStats = engine.Stats
+)
+
+// NewEngine builds a prepared-query engine over a loaded database. It
+// builds any missing access indexes (verifying D |= A) and seals the
+// database; afterwards the engine may serve queries from any number of
+// goroutines.
+func NewEngine(cat *Catalog, acc *AccessSchema, db *Database, opts EngineOptions) (*Engine, error) {
+	return engine.New(cat, acc, db, opts)
+}
 
 // BaselineResult is a full-data evaluation answer.
 type BaselineResult = baseline.Result

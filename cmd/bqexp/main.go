@@ -8,6 +8,7 @@
 //	bqexp -quick          # reduced scales (CI-friendly)
 //	bqexp -only fig5d     # one experiment: fig5a..fig5l, table1, table2, census
 //	bqexp -csv out/       # additionally dump panel CSVs for plotting
+//	bqexp -parallel 8     # fan evalDQ's index probes over 8 workers
 package main
 
 import (
@@ -25,12 +26,14 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scales and budget")
 	only := flag.String("only", "", "run a single experiment: fig5a..fig5l, table1, table2, census")
 	csvDir := flag.String("csv", "", "directory to write panel CSVs into")
+	parallel := flag.Int("parallel", 1, "evalDQ probe workers (1 = sequential; answers are identical either way)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Parallelism = *parallel
 	if err := run(cfg, strings.ToLower(*only), *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "bqexp:", err)
 		os.Exit(1)

@@ -1,16 +1,21 @@
 // Command bqrun generates one of the built-in datasets, evaluates a query
-// both ways — bounded (evalDQ through the access indices) and conventional
-// (full-data baseline) — and compares answers and data access.
+// both ways — bounded (evalDQ through the prepared-query engine) and
+// conventional (full-data baseline) — and compares answers and data
+// access.
 //
 // Usage:
 //
 //	bqrun -dataset social -scale 0.5 -query q0.sql
 //	bqrun -dataset tfacc -scale 1 -workload       # run the 15-query workload
+//	bqrun -dataset mot -scale 1 -workload -parallel 8
 //
-// Datasets: social (Example 1), tfacc, mot, tpch.
+// Datasets: social (Example 1), tfacc, mot, tpch. The -parallel flag fans
+// each plan step's index probes over that many workers; answers are
+// byte-identical to a sequential run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +23,8 @@ import (
 
 	"bcq"
 	"bcq/internal/datagen"
+	"bcq/internal/engine"
+	"bcq/internal/plan"
 	"bcq/internal/querygen"
 )
 
@@ -27,9 +34,10 @@ func main() {
 	queryPath := flag.String("query", "", "path to an SPC query file")
 	workload := flag.Bool("workload", false, "run the generated 15-query workload instead of -query")
 	budget := flag.Int64("budget", 2_000_000, "baseline tuple budget (0 = unlimited)")
+	parallel := flag.Int("parallel", 1, "bounded-executor probe workers (1 = sequential)")
 	flag.Parse()
 
-	if err := run(*dataset, *scale, *queryPath, *workload, *budget); err != nil {
+	if err := run(*dataset, *scale, *queryPath, *workload, *budget, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "bqrun:", err)
 		os.Exit(1)
 	}
@@ -50,7 +58,7 @@ func pickDataset(name string) (*datagen.Dataset, error) {
 	}
 }
 
-func run(dataset string, scale float64, queryPath string, workload bool, budget int64) error {
+func run(dataset string, scale float64, queryPath string, workload bool, budget int64, parallel int) error {
 	ds, err := pickDataset(dataset)
 	if err != nil {
 		return err
@@ -62,6 +70,11 @@ func run(dataset string, scale float64, queryPath string, workload bool, budget 
 		return err
 	}
 	fmt.Printf("built |D| = %d tuples in %v\n\n", db.NumTuples(), time.Since(start).Round(time.Millisecond))
+
+	eng, err := engine.New(ds.Catalog, ds.Access, db, engine.Options{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
 
 	var queries []*bcq.Query
 	switch {
@@ -88,40 +101,45 @@ func run(dataset string, scale float64, queryPath string, workload bool, budget 
 	}
 
 	for _, q := range queries {
-		if err := runOne(ds, db, q, budget); err != nil {
+		if err := runOne(ds, eng, q, budget); err != nil {
 			return err
 		}
 	}
+	st := eng.Stats()
+	fmt.Printf("engine: %d prepares (%d planned, %d cache hits), %d executions\n",
+		st.Prepares, st.CacheMisses, st.CacheHits, st.Execs)
 	return nil
 }
 
-func runOne(ds *datagen.Dataset, db *bcq.Database, q *bcq.Query, budget int64) error {
+func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, budget int64) error {
 	fmt.Printf("== %s\n   %s\n", q.Name, q)
-	an, err := bcq.Analyze(ds.Catalog, q, ds.Access)
+	prep, err := eng.PrepareQuery(q)
 	if err != nil {
+		var nebErr *plan.NotEffectivelyBoundedError
+		if errors.As(err, &nebErr) {
+			fmt.Printf("   not effectively bounded (%v); skipping bounded run\n\n", err)
+			return nil
+		}
 		return err
 	}
-	eb := an.EffectivelyBounded()
-	if !eb.EffectivelyBounded {
-		fmt.Printf("   not effectively bounded (missing %v, unindexed %v); skipping bounded run\n\n",
-			eb.MissingClasses, eb.UnindexedAtoms)
-		return nil
-	}
-	p, err := an.Plan()
-	if err != nil {
-		return err
+	if prep.NumParams() > 0 {
+		return fmt.Errorf("query %s has %d unbound placeholders; bqrun runs fully instantiated queries", q.Name, prep.NumParams())
 	}
 	start := time.Now()
-	res, err := bcq.Execute(p, db)
+	res, err := prep.Exec()
 	if err != nil {
 		return err
 	}
 	evalTime := time.Since(start)
 	fmt.Printf("   evalDQ:   %5d answers in %8v — fetched %d tuples (|D_Q| = %d, bound %s)\n",
-		len(res.Tuples), evalTime.Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, p.FetchBound)
+		len(res.Tuples), evalTime.Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, prep.FetchBound())
 
+	an, err := bcq.Analyze(ds.Catalog, q, ds.Access)
+	if err != nil {
+		return err
+	}
 	start = time.Now()
-	bres, err := bcq.ExecuteBaseline(an, db, bcq.BaselineOptions{Budget: budget})
+	bres, err := bcq.ExecuteBaseline(an, eng.Database(), bcq.BaselineOptions{Budget: budget})
 	baseTime := time.Since(start)
 	switch {
 	case err != nil:

@@ -1,0 +1,3 @@
+module bcq
+
+go 1.24

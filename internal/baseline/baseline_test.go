@@ -126,7 +126,7 @@ func TestBudgetScalesWithData(t *testing.T) {
 func TestIndexLoopUsesIndexes(t *testing.T) {
 	db := fixtureDB(t, 100)
 	cl := closureFor(t, "select r.id from r where r.grp = 2")
-	db.Stats().Reset()
+	db.ResetStats()
 	res, err := IndexLoop(cl, db, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +145,7 @@ func TestIndexLoopFallsBackToScan(t *testing.T) {
 	db := fixtureDB(t, 30)
 	// payload has no row index; pinning it forces a scan.
 	cl := closureFor(t, "select r.id from r where r.payload = 14")
-	db.Stats().Reset()
+	db.ResetStats()
 	res, err := IndexLoop(cl, db, Options{})
 	if err != nil {
 		t.Fatal(err)

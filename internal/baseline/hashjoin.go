@@ -18,8 +18,7 @@ func HashJoin(cl *spc.Closure, db *storage.Database, opts Options) (*Result, err
 	if opts.Budget > 0 {
 		st.budget = opts.Budget
 	}
-	stats := db.Stats()
-	before := *stats
+	before := db.Stats()
 
 	if !cl.Satisfiable() {
 		return project(cl, nil), nil
@@ -92,11 +91,6 @@ func HashJoin(cl *spc.Closure, db *storage.Database, opts Options) (*Result, err
 	}
 
 	res := project(cl, bindings)
-	after := *stats
-	res.Stats = storage.Stats{
-		IndexLookups:  after.IndexLookups - before.IndexLookups,
-		TuplesFetched: after.TuplesFetched - before.TuplesFetched,
-		TuplesScanned: after.TuplesScanned - before.TuplesScanned,
-	}
+	res.Stats = db.Stats().Sub(before)
 	return res, nil
 }

@@ -18,8 +18,7 @@ func IndexLoop(cl *spc.Closure, db *storage.Database, opts Options) (*Result, er
 	if opts.Budget > 0 {
 		st.budget = opts.Budget
 	}
-	stats := db.Stats()
-	before := *stats
+	before := db.Stats()
 
 	if !cl.Satisfiable() {
 		return project(cl, nil), nil
@@ -99,12 +98,7 @@ func IndexLoop(cl *spc.Closure, db *storage.Database, opts Options) (*Result, er
 	}
 
 	res := project(cl, bindings)
-	after := *stats
-	res.Stats = storage.Stats{
-		IndexLookups:  after.IndexLookups - before.IndexLookups,
-		TuplesFetched: after.TuplesFetched - before.TuplesFetched,
-		TuplesScanned: after.TuplesScanned - before.TuplesScanned,
-	}
+	res.Stats = db.Stats().Sub(before)
 	return res, nil
 }
 

@@ -35,9 +35,15 @@ func TestPaperShapeCounts(t *testing.T) {
 
 func TestBuildSatisfiesAccessSchema(t *testing.T) {
 	// Build verifies D |= A internally (index construction checks every
-	// cardinality bound); failure here means a generator bug.
+	// cardinality bound); failure here means a generator bug. Full-scale
+	// builds take ~10 s across the four datasets, so the fast loop only
+	// smoke-tests the small scales.
+	scales := []float64{1.0 / 32, 1.0 / 8, 0.3, 1}
+	if testing.Short() {
+		scales = []float64{1.0 / 32, 1.0 / 8}
+	}
 	for _, ds := range []*Dataset{Social(), TFACC(), MOT(), TPCH()} {
-		for _, sf := range []float64{1.0 / 32, 1.0 / 8, 0.3, 1} {
+		for _, sf := range scales {
 			if _, err := ds.Build(sf); err != nil {
 				t.Errorf("%s at sf=%g: %v", ds.Name, sf, err)
 			}
@@ -65,6 +71,9 @@ func TestBuildDeterministic(t *testing.T) {
 }
 
 func TestBuildScalesLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds TFACC at two scales (~1 s)")
+	}
 	ds := TFACC()
 	small := ds.MustBuild(1.0 / 8)
 	large := ds.MustBuild(1.0 / 2)
@@ -102,6 +111,9 @@ func TestLogicalContentStableAcrossScales(t *testing.T) {
 func TestDuplicatesArePhysicallyDistinct(t *testing.T) {
 	// Duplicate copies of a logical row must differ in payload attributes
 	// (the "irrelevant attributes" MySQL reads and evalDQ skips).
+	if testing.Short() {
+		t.Skip("needs the full-scale MOT build (duplication only reaches spec.Dup at sf=1)")
+	}
 	ds := MOT()
 	db := ds.MustBuild(1) // full scale: full duplication
 	rel := db.MustRelation("mot_test")

@@ -1,0 +1,52 @@
+package engine
+
+import "container/list"
+
+// cacheEntry is one plan-cache slot: a successfully prepared query, or
+// the sticky preparation error (caching failures means a hot query that
+// is not effectively bounded is rejected without re-running the analysis).
+type cacheEntry struct {
+	fp   string
+	prep *Prepared
+	err  error
+}
+
+// lruCache is a plain LRU over query fingerprints. It is not safe for
+// concurrent use; the engine serializes access under its mutex.
+type lruCache struct {
+	cap   int
+	order *list.List               // front = most recently used
+	byFP  map[string]*list.Element // value: *cacheEntry
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), byFP: make(map[string]*list.Element, capacity)}
+}
+
+func (c *lruCache) get(fp string) (*cacheEntry, bool) {
+	el, ok := c.byFP[fp]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts an entry, returning whether an older entry was evicted.
+func (c *lruCache) put(ent *cacheEntry) (evicted bool) {
+	if el, ok := c.byFP[ent.fp]; ok {
+		el.Value = ent
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.byFP[ent.fp] = c.order.PushFront(ent)
+	if c.order.Len() <= c.cap {
+		return false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.byFP, oldest.Value.(*cacheEntry).fp)
+	return true
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

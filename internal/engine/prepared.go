@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"bcq/internal/core"
+	"bcq/internal/deduce"
+	"bcq/internal/exec"
+	"bcq/internal/plan"
+	"bcq/internal/spc"
+	"bcq/internal/value"
+)
+
+// Prepared is a planned query shape, ready for repeated execution. For a
+// parameterized template the plan was generated against opaque sentinel
+// constants — one per Σ_Q class of placeholder slots — and Exec rebinds
+// the plan's seeds to the argument vector, so no per-request analysis or
+// planning happens. Prepared values are immutable and safe for concurrent
+// Exec from many goroutines.
+type Prepared struct {
+	eng *Engine
+	// query is the validated template (placeholders unbound).
+	query *spc.Query
+	// pl is the cached plan: the template's own plan when it has no
+	// placeholders, otherwise the sentinel-instantiated plan.
+	pl *plan.Plan
+	// slots aligns with query.Placeholders: how each positional argument
+	// reaches the plan.
+	slots []paramSlot
+}
+
+// paramSlot says how one placeholder argument binds into the plan.
+type paramSlot struct {
+	// ref is the placeholder's attribute occurrence (diagnostics).
+	ref spc.AttrRef
+	// class is the slot's Σ_Q class in the instantiated plan's closure;
+	// the seed of this class is rewritten to the argument.
+	class int
+	// val is the value the plan was generated with: an opaque sentinel,
+	// or — when fixed — a constant the query text already pins the class
+	// to.
+	val value.Value
+	// fixed marks slots whose class the template also pins with a real
+	// constant (e.g. "a = ? and a = 3"): the plan's seed is that
+	// constant, and an argument differing from it makes the query
+	// unsatisfiable rather than rebindable.
+	fixed bool
+}
+
+// build runs the one-time preparation pipeline: sentinel instantiation
+// (for templates), analysis and planning.
+func (e *Engine) build(q *spc.Query) (*Prepared, error) {
+	inst := q
+	var slots []paramSlot
+	if len(q.Placeholders) > 0 {
+		tcl, err := spc.NewClosure(q, e.cat)
+		if err != nil {
+			return nil, err
+		}
+		bindings := make(map[spc.AttrRef]value.Value, len(q.Placeholders))
+		classVal := make(map[int]paramSlot)
+		for _, ref := range q.Placeholders {
+			c := tcl.MustClass(ref)
+			slot, ok := classVal[c]
+			if !ok {
+				if cv, has := tcl.ConstOf(c); has {
+					slot = paramSlot{class: c, val: cv, fixed: true}
+				} else {
+					slot = paramSlot{class: c, val: sentinel(q, len(classVal))}
+				}
+				classVal[c] = slot
+			}
+			slot.ref = ref
+			slots = append(slots, slot)
+			bindings[ref] = slot.val
+		}
+		inst = q.Instantiate(bindings)
+	}
+
+	an, err := core.NewAnalysis(e.cat, inst, e.acc)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := plan.QPlan(an)
+	if err != nil {
+		return nil, err
+	}
+	// Re-key the slots to the instantiated closure: QPlan's seeds carry
+	// its class numbering, which instantiation may have changed.
+	for i := range slots {
+		slots[i].class = pl.Closure.MustClass(slots[i].ref)
+	}
+	return &Prepared{eng: e, query: q, pl: pl, slots: slots}, nil
+}
+
+// sentinel produces the opaque constant a placeholder class is planned
+// against. The value never leaks into answers (placeholder classes are
+// seeds, rewritten before every execution); it only has to be distinct
+// from every constant of the query, which the \x00 prefix plus a
+// collision check guarantees.
+func sentinel(q *spc.Query, k int) value.Value {
+	taken := make(map[value.Value]bool, len(q.EqConsts))
+	for _, e := range q.EqConsts {
+		taken[e.C] = true
+	}
+	v := value.Str("\x00bcq:param:" + strconv.Itoa(k))
+	for taken[v] {
+		v = value.Str(v.AsString() + "'")
+	}
+	return v
+}
+
+// Query returns the prepared template. Treat it as immutable.
+func (p *Prepared) Query() *spc.Query { return p.query }
+
+// Plan returns the cached plan. For a parameterized template the seed
+// values of placeholder classes are opaque sentinels; everything else —
+// steps, verifications, bounds — is exactly what every execution runs.
+func (p *Prepared) Plan() *plan.Plan { return p.pl }
+
+// FetchBound is the plan's worst-case data access, the paper's M.
+func (p *Prepared) FetchBound() deduce.Bound { return p.pl.FetchBound }
+
+// NumParams returns the number of placeholder slots Exec expects.
+func (p *Prepared) NumParams() int { return len(p.slots) }
+
+// Exec runs the prepared plan with the given placeholder arguments (in
+// placeholder order), returning the bounded-evaluation result. The only
+// per-request work is binding the arguments into the plan's seeds and the
+// bounded data access itself.
+func (p *Prepared) Exec(args ...value.Value) (*exec.Result, error) {
+	p.eng.execs.Add(1)
+	if len(args) != len(p.slots) {
+		return nil, fmt.Errorf("engine: query %s expects %d arguments, got %d",
+			p.query.Name, len(p.slots), len(args))
+	}
+	for i, a := range args {
+		if a.IsNull() {
+			return nil, fmt.Errorf("engine: argument %d is null; an equality with null is never satisfied", i)
+		}
+	}
+	if len(p.slots) == 0 {
+		return p.eng.exe.Run(p.pl, p.eng.db)
+	}
+
+	// Bind: one value per placeholder class. Conflicting bindings — two
+	// Σ_Q-equal slots given different values, or a fixed slot given a
+	// value other than its pinned constant — make the instantiated query
+	// unsatisfiable, so the answer is empty without touching the data.
+	desired := make(map[int]value.Value, len(p.slots))
+	for i, slot := range p.slots {
+		if slot.fixed {
+			if args[i] != slot.val {
+				return p.emptyResult(), nil
+			}
+			continue
+		}
+		if prev, ok := desired[slot.class]; ok {
+			if prev != args[i] {
+				return p.emptyResult(), nil
+			}
+			continue
+		}
+		desired[slot.class] = args[i]
+	}
+
+	bound := *p.pl
+	seeds := make([]plan.Seed, len(p.pl.Seeds))
+	copy(seeds, p.pl.Seeds)
+	for i := range seeds {
+		if v, ok := desired[seeds[i].Class]; ok {
+			seeds[i].Val = v
+		}
+	}
+	bound.Seeds = seeds
+	return p.eng.exe.Run(&bound, p.eng.db)
+}
+
+// emptyResult is the answer of an unsatisfiable argument binding: no
+// tuples, no data access.
+func (p *Prepared) emptyResult() *exec.Result {
+	res := &exec.Result{}
+	for _, col := range p.query.Output {
+		res.Cols = append(res.Cols, col.As)
+	}
+	return res
+}

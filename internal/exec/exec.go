@@ -14,6 +14,17 @@
 //     the atom's indexedness witness;
 //  3. join & project: the R_i are hash-joined in memory on shared Σ_Q
 //     classes — no data access — and projected onto Z.
+//
+// An Executor carries the evaluation policy. Its Parallelism setting fans
+// the index probes of each step out over a bounded worker pool: the steps
+// themselves stay ordered (each fetch step feeds the candidate sets of the
+// next), but within one step every probe is independent, so a step's
+// lookup batch is split into contiguous chunks evaluated concurrently and
+// merged back in probe order. The merge is deterministic, so a parallel
+// run returns byte-identical Tuples, Stats and DQSize to a sequential one.
+// Concurrent probes require the database to be sealed
+// (storage.BuildIndexes) and rely on the storage layer's atomic access
+// counters.
 package exec
 
 import (
@@ -42,6 +53,55 @@ type Result struct {
 // Bool interprets a Boolean query's result.
 func (r *Result) Bool() bool { return len(r.Tuples) > 0 }
 
+// Executor evaluates bounded plans. The zero value (and package-level Run)
+// evaluates sequentially; Parallelism > 1 fans each step's index probes
+// out over that many workers. Executors are stateless and safe for
+// concurrent use; one executor may evaluate many plans at once.
+type Executor struct {
+	// Parallelism is the worker-pool width for index probes within a step.
+	// Values ≤ 1 mean sequential execution.
+	Parallelism int
+}
+
+// New returns an executor with the given probe parallelism.
+func New(parallelism int) *Executor { return &Executor{Parallelism: parallelism} }
+
+var sequential = &Executor{}
+
+// Run executes a bounded plan sequentially — the original evalDQ entry
+// point, kept for callers that need no concurrency.
+func Run(p *plan.Plan, db *storage.Database) (*Result, error) {
+	return sequential.Run(p, db)
+}
+
+// Run executes a bounded plan against a database. The database must have
+// indexes built for every constraint the plan uses (storage.BuildIndexes
+// with the access schema the plan was generated under).
+func (e *Executor) Run(p *plan.Plan, db *storage.Database) (*Result, error) {
+	r := &run{ex: e, p: p, db: db, res: &Result{}}
+	return r.execute()
+}
+
+// run is the per-evaluation state of one Executor.Run. It counts its own
+// accesses (lookups, fetched) instead of diffing the database's shared
+// counters, so Result.Stats stays exact even when many evaluations run
+// concurrently against one database.
+type run struct {
+	ex *Executor
+	p  *plan.Plan
+	db *storage.Database
+
+	res     *Result
+	lookups int64
+	fetched int64
+	dq      *dqTracker
+	// V is the candidate value set of each Σ_Q class.
+	V []*candSet
+	// recorded keeps the probes of fetch steps some verification collects
+	// from.
+	recorded [][]fetched
+}
+
 // candSet is one class's candidate values: insertion-ordered (for
 // deterministic combo enumeration) with O(1) membership.
 type candSet struct {
@@ -65,84 +125,97 @@ type fetched struct {
 	entries []storage.IndexEntry
 }
 
-// Run executes a bounded plan against a database. The database must have
-// indexes built for every constraint the plan uses (storage.BuildIndexes
-// with the access schema the plan was generated under).
-func Run(p *plan.Plan, db *storage.Database) (*Result, error) {
-	res := &Result{}
-	for _, col := range p.Query.Output {
-		res.Cols = append(res.Cols, col.As)
+// rowTable is one atom's verified rows R_i, with the class carried by each
+// column.
+type rowTable struct {
+	classes []int // column classes, aligned with row tuples
+	rows    []value.Tuple
+}
+
+func (r *run) execute() (*Result, error) {
+	for _, col := range r.p.Query.Output {
+		r.res.Cols = append(r.res.Cols, col.As)
 	}
-	if p.Trivial {
-		return res, nil
+	if r.p.Trivial {
+		return r.res, nil
 	}
 
-	stats := db.Stats()
-	before := *stats
-	dq := newDQTracker()
+	r.dq = newDQTracker()
 
 	// Phase 0: seed candidate sets.
-	V := make([]*candSet, p.Closure.NumClasses())
-	for i := range V {
-		V[i] = newCandSet()
+	r.V = make([]*candSet, r.p.Closure.NumClasses())
+	for i := range r.V {
+		r.V[i] = newCandSet()
 	}
-	for _, s := range p.Seeds {
-		V[s.Class].add(s.Val)
+	for _, s := range r.p.Seeds {
+		r.V[s.Class].add(s.Val)
 	}
 
-	// Which steps must retain their entries for verification?
-	retain := make([]bool, len(p.Steps))
-	for _, vs := range p.Verifies {
+	if err := r.grow(); err != nil {
+		return nil, err
+	}
+	tables, empty, err := r.verify()
+	if err != nil {
+		return nil, err
+	}
+	if !empty {
+		if err := r.join(tables); err != nil {
+			return nil, err
+		}
+	}
+	r.finish()
+	return r.res, nil
+}
+
+// grow is phase 1: candidate growth, one fetch step at a time. Steps are
+// ordered (each feeds the candidate sets the next enumerates over); the
+// probes within one step are independent and run on the worker pool.
+func (r *run) grow() error {
+	retain := make([]bool, len(r.p.Steps))
+	for _, vs := range r.p.Verifies {
 		if vs.FromStep >= 0 {
 			retain[vs.FromStep] = true
 		}
 	}
-	recorded := make([][]fetched, len(p.Steps))
+	r.recorded = make([][]fetched, len(r.p.Steps))
 
-	// Phase 1: candidate growth.
-	for si, st := range p.Steps {
-		combos, classOrder, err := enumCombos(V, st.XClasses)
+	for si, st := range r.p.Steps {
+		xs := lookupTuples(r.V, st.XClasses)
+		groups, err := r.probeAC(st.AC, xs)
 		if err != nil {
-			return nil, fmt.Errorf("exec: step %d: %w", si, err)
+			return err
 		}
-		for _, combo := range combos {
-			// Assemble the lookup tuple position by position (several X
-			// positions may share a class).
-			xVals := make(value.Tuple, len(st.XClasses))
-			for k, c := range st.XClasses {
-				xVals[k] = combo[classOrder[c]]
-			}
-			entries, err := db.Fetch(st.AC, xVals)
-			if err != nil {
-				return nil, err
-			}
+		// Deterministic merge, in probe order.
+		for i, entries := range groups {
 			for _, e := range entries {
-				dq.add(st.AC.Rel, e.Pos)
+				r.dq.add(st.AC.Rel, e.Pos)
 				for _, yi := range st.BindPos {
-					V[st.YClasses[yi]].add(e.Y[yi])
+					r.V[st.YClasses[yi]].add(e.Y[yi])
 				}
 			}
 			if retain[si] && len(entries) > 0 {
-				recorded[si] = append(recorded[si], fetched{combo: xVals.Clone(), entries: entries})
+				r.recorded[si] = append(r.recorded[si], fetched{combo: xs[i], entries: entries})
 			}
 		}
 	}
+	return nil
+}
 
-	// Phase 2: verification — build R_i per atom.
-	type rowTable struct {
-		classes []int // column classes, aligned with row tuples
-		rows    []value.Tuple
-	}
-	tables := make([]rowTable, 0, len(p.Verifies))
-	for _, vs := range p.Verifies {
+// verify is phase 2: it builds R_i per atom, in plan order, and reports
+// empty = true as soon as some atom verifies to an empty table (the
+// query's answer is then empty, and — matching sequential semantics —
+// later verifications are skipped).
+func (r *run) verify() (tables []rowTable, empty bool, err error) {
+	for _, vs := range r.p.Verifies {
 		if vs.Exists {
-			ok, err := db.NonEmpty(p.Query.Atoms[vs.Atom].Rel)
+			ok, err := r.db.NonEmpty(r.p.Query.Atoms[vs.Atom].Rel)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			if !ok {
-				return res, finish(res, stats, before, dq)
+				return nil, true, nil
 			}
+			r.fetched++ // the probe read one tuple
 			continue
 		}
 		classes := make([]int, len(vs.Row))
@@ -152,7 +225,7 @@ func Run(p *plan.Plan, db *storage.Database) (*Result, error) {
 		tbl := rowTable{classes: classes}
 		seen := map[string]bool{}
 		collect := func(combo value.Tuple, e storage.IndexEntry) {
-			row, ok := buildRow(vs, V, combo, e)
+			row, ok := buildRow(vs, r.V, combo, e)
 			if !ok {
 				return
 			}
@@ -163,38 +236,36 @@ func Run(p *plan.Plan, db *storage.Database) (*Result, error) {
 			}
 		}
 		if vs.FromStep >= 0 {
-			for _, f := range recorded[vs.FromStep] {
+			for _, f := range r.recorded[vs.FromStep] {
 				for _, e := range f.entries {
 					collect(f.combo, e)
 				}
 			}
 		} else {
-			combos, classOrder, err := enumCombos(V, vs.XClasses)
+			xs := lookupTuples(r.V, vs.XClasses)
+			groups, err := r.probeAC(vs.Witness, xs)
 			if err != nil {
-				return nil, fmt.Errorf("exec: verify atom %d: %w", vs.Atom, err)
+				return nil, false, err
 			}
-			for _, combo := range combos {
-				xVals := make(value.Tuple, len(vs.XClasses))
-				for k, c := range vs.XClasses {
-					xVals[k] = combo[classOrder[c]]
-				}
-				entries, err := db.Fetch(vs.Witness, xVals)
-				if err != nil {
-					return nil, err
-				}
+			for i, entries := range groups {
 				for _, e := range entries {
-					dq.add(vs.Witness.Rel, e.Pos)
-					collect(xVals, e)
+					r.dq.add(vs.Witness.Rel, e.Pos)
+					collect(xs[i], e)
 				}
 			}
 		}
 		if len(tbl.rows) == 0 {
-			return res, finish(res, stats, before, dq)
+			return nil, true, nil
 		}
 		tables = append(tables, tbl)
 	}
+	return tables, false, nil
+}
 
-	// Phase 3: in-memory join on shared classes, then projection.
+// join is phase 3: the in-memory hash join of the verified row tables on
+// shared classes, then the projection onto the output classes. No data
+// access happens here.
+func (r *run) join(tables []rowTable) error {
 	sort.SliceStable(tables, func(i, j int) bool { return len(tables[i].rows) < len(tables[j].rows) })
 
 	covered := make(map[int]int) // class -> column in the partial join
@@ -202,7 +273,7 @@ func Run(p *plan.Plan, db *storage.Database) (*Result, error) {
 	// when no atom carries them (they always do, but be defensive).
 	var joinCols []int
 	start := value.Tuple{}
-	for _, s := range p.Seeds {
+	for _, s := range r.p.Seeds {
 		covered[s.Class] = len(joinCols)
 		joinCols = append(joinCols, s.Class)
 		start = append(start, s.Val)
@@ -249,35 +320,29 @@ func Run(p *plan.Plan, db *storage.Database) (*Result, error) {
 	// Projection with deduplication.
 	seenOut := make(map[string]bool)
 	for _, b := range partial {
-		out := make(value.Tuple, len(p.OutputClasses))
-		for k, c := range p.OutputClasses {
+		out := make(value.Tuple, len(r.p.OutputClasses))
+		for k, c := range r.p.OutputClasses {
 			j, ok := covered[c]
 			if !ok {
-				return nil, fmt.Errorf("exec: output class %d never joined (malformed plan)", c)
+				return fmt.Errorf("exec: output class %d never joined (malformed plan)", c)
 			}
 			out[k] = b[j]
 		}
 		key := out.Key()
 		if !seenOut[key] {
 			seenOut[key] = true
-			res.Tuples = append(res.Tuples, out)
+			r.res.Tuples = append(r.res.Tuples, out)
 		}
 	}
-	sort.Slice(res.Tuples, func(i, j int) bool { return res.Tuples[i].Compare(res.Tuples[j]) < 0 })
-	return res, finish(res, stats, before, dq)
+	sort.Slice(r.res.Tuples, func(i, j int) bool { return r.res.Tuples[i].Compare(r.res.Tuples[j]) < 0 })
+	return nil
 }
 
-// finish fills the result's statistics; it always returns nil so callers
-// can `return res, finish(...)`.
-func finish(res *Result, stats *storage.Stats, before storage.Stats, dq *dqTracker) error {
-	after := *stats
-	res.Stats = storage.Stats{
-		IndexLookups:  after.IndexLookups - before.IndexLookups,
-		TuplesFetched: after.TuplesFetched - before.TuplesFetched,
-		TuplesScanned: after.TuplesScanned - before.TuplesScanned,
-	}
-	res.DQSize = dq.size()
-	return nil
+// finish fills the result's access statistics from the run's own
+// counters. evalDQ never scans, so TuplesScanned is always zero.
+func (r *run) finish() {
+	r.res.Stats = storage.Stats{IndexLookups: r.lookups, TuplesFetched: r.fetched}
+	r.res.DQSize = r.dq.size()
 }
 
 // buildRow assembles one verified row from a lookup combo and an index
@@ -306,11 +371,13 @@ func buildRow(vs plan.VerifyStep, V []*candSet, combo value.Tuple, e storage.Ind
 	return row, true
 }
 
-// enumCombos enumerates, in deterministic order, every combination of
-// candidate values over the distinct classes referenced. It returns the
-// combos (each a tuple over the distinct classes) and a map from class to
-// its position within a combo.
-func enumCombos(V []*candSet, classes []int) ([]value.Tuple, map[int]int, error) {
+// lookupTuples enumerates, in deterministic order, every combination of
+// candidate values over the classes of a lookup attribute list, as tuples
+// positionally aligned with the attributes (several positions may share a
+// class, in which case they carry the same value). An empty attribute list
+// yields one empty lookup; a referenced class with no candidates yields no
+// lookups at all.
+func lookupTuples(V []*candSet, classes []int) []value.Tuple {
 	classOrder := make(map[int]int)
 	var unique []int
 	for _, c := range classes {
@@ -323,7 +390,7 @@ func enumCombos(V []*candSet, classes []int) ([]value.Tuple, map[int]int, error)
 	for _, c := range unique {
 		vals := V[c].vals
 		if len(vals) == 0 {
-			return nil, classOrder, nil // no candidates: no combos
+			return nil // no candidates: no lookups
 		}
 		next := make([]value.Tuple, 0, len(combos)*len(vals))
 		for _, base := range combos {
@@ -335,7 +402,16 @@ func enumCombos(V []*candSet, classes []int) ([]value.Tuple, map[int]int, error)
 		}
 		combos = next
 	}
-	return combos, classOrder, nil
+	// Align each combo (over distinct classes) with the attribute list.
+	out := make([]value.Tuple, len(combos))
+	for i, combo := range combos {
+		x := make(value.Tuple, len(classes))
+		for k, c := range classes {
+			x[k] = combo[classOrder[c]]
+		}
+		out[i] = x
+	}
+	return out
 }
 
 // dqTracker deduplicates fetched witness tuples per relation position,

@@ -42,7 +42,7 @@ const q0src = `
 // album a0 = {p1, p2, p4}; u0's friends = {f1, f2};
 // taggings: p1: u0 by f1 (answer), p2: u0 by stranger s9 (not an answer),
 // p4: u0 by f2 (answer), p3 (other album): u0 by f1 (not an answer).
-func socialDB(t testing.TB) *storage.Database {
+func loadSocial(t testing.TB) *storage.Database {
 	t.Helper()
 	db := storage.NewDatabase(socialCatalog())
 	ins := func(rel string, vals ...string) {
@@ -66,6 +66,12 @@ func socialDB(t testing.TB) *storage.Database {
 	ins("tagging", "p2", "s9", "u0")
 	ins("tagging", "p4", "f2", "u0")
 	ins("tagging", "p3", "f1", "u0")
+	return db
+}
+
+func socialDB(t testing.TB) *storage.Database {
+	t.Helper()
+	db := loadSocial(t)
 	if err := db.BuildIndexes(accessA0()); err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +144,7 @@ func TestRunQ0AccessIndependentOfScale(t *testing.T) {
 	p := planQ0(t)
 	var fetched []int64
 	for _, scale := range []int{1, 8, 64} {
-		db := socialDB(t)
+		db := loadSocial(t)
 		for i := 0; i < scale*50; i++ {
 			aid := value.Str(string(rune('b'+i%20)) + "album")
 			pid := value.Int(int64(10000 + i))
@@ -215,7 +221,7 @@ func TestRunTrivialPlan(t *testing.T) {
 		t.Fatal("unsatisfiable query must yield a trivial plan")
 	}
 	db := socialDB(t)
-	db.Stats().Reset()
+	db.ResetStats()
 	res, err := Run(p, db)
 	if err != nil {
 		t.Fatal(err)

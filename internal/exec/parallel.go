@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"sync"
+
+	"bcq/internal/schema"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// minParallelBatch is the smallest lookup batch worth fanning out: below
+// it the goroutine handoff costs more than the probes.
+const minParallelBatch = 8
+
+// probeAC evaluates one step's lookup batch — the constraint's index
+// probed once per tuple of xs — returning the entry groups aligned with
+// xs (group i answers xs[i]).
+//
+// Sequentially this is a single storage.FetchBatch. With Parallelism > 1
+// the batch is split into contiguous chunks, one per worker of a bounded
+// pool, and each worker writes its groups into its own slice segment; the
+// alignment makes the merge order independent of goroutine scheduling, so
+// parallel execution is deterministic. The storage layer's counters are
+// atomic, so the accounting is exact too.
+func (r *run) probeAC(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error) {
+	groups, err := r.fanout(ac, xs)
+	if err != nil {
+		return nil, err
+	}
+	r.lookups += int64(len(xs))
+	for _, g := range groups {
+		r.fetched += int64(len(g))
+	}
+	return groups, nil
+}
+
+// fanout performs the raw batched probes, splitting large batches over
+// the worker pool.
+func (r *run) fanout(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error) {
+	workers := r.ex.Parallelism
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 || len(xs) < minParallelBatch {
+		return r.db.FetchBatch(ac, xs)
+	}
+
+	out := make([][]storage.IndexEntry, len(xs))
+	errs := make([]error, workers)
+	chunk := (len(xs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			groups, err := r.db.FetchBatch(ac, xs[lo:hi])
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			copy(out[lo:hi], groups)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bcq/internal/core"
+	"bcq/internal/plan"
+)
+
+var errMismatch = errors.New("concurrent run disagreed with reference result")
+
+// TestPropertyParallelMatchesSequential is the determinism property the
+// executor refactor must preserve: over random queries and random
+// databases, parallel execution returns byte-identical Tuples, Stats and
+// DQSize to sequential execution. Run under -race this also exercises the
+// concurrent probe path against the sealed-database contract.
+func TestPropertyParallelMatchesSequential(t *testing.T) {
+	cat := propCatalog()
+	acc := propAccess()
+	trials := 300
+	if testing.Short() {
+		trials = 50
+	}
+	executors := []*Executor{New(2), New(4), New(16)}
+	compared := 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		q := propQuery(rng)
+		if err := q.Validate(cat); err != nil {
+			t.Fatal(err)
+		}
+		an, err := core.NewAnalysis(cat, q, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.EBCheck().EffectivelyBounded {
+			continue
+		}
+		p, err := plan.QPlan(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := propDB(t, rng)
+		seq, err := Run(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ex := range executors {
+			par, err := ex.Run(p, db)
+			if err != nil {
+				t.Fatalf("trial %d (parallelism %d): %v", trial, ex.Parallelism, err)
+			}
+			if !sameTuples(seq.Tuples, par.Tuples) {
+				t.Fatalf("trial %d (parallelism %d): tuples differ\n  seq %v\n  par %v\n  %s",
+					trial, ex.Parallelism, seq.Tuples, par.Tuples, q)
+			}
+			if len(seq.Cols) != len(par.Cols) {
+				t.Fatalf("trial %d: column lists differ", trial)
+			}
+			if par.DQSize != seq.DQSize {
+				t.Fatalf("trial %d (parallelism %d): DQSize %d != sequential %d",
+					trial, ex.Parallelism, par.DQSize, seq.DQSize)
+			}
+			if par.Stats != seq.Stats {
+				t.Fatalf("trial %d (parallelism %d): stats %+v != sequential %+v",
+					trial, ex.Parallelism, par.Stats, seq.Stats)
+			}
+		}
+		compared++
+	}
+	if compared < trials/10 {
+		t.Errorf("only %d/%d trials were executable; generator too weak", compared, trials)
+	}
+	t.Logf("parallel determinism: %d/%d plans compared at 3 parallelism levels", compared, trials)
+}
+
+// TestPropertyConcurrentRunsShareDatabase runs one plan from many
+// goroutines against a single sealed database — the engine's serving
+// pattern — and checks every result agrees with a reference run. Under
+// -race this is the concurrency half of the storage immutability
+// contract.
+func TestPropertyConcurrentRunsShareDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cat := propCatalog()
+	acc := propAccess()
+	db := propDB(t, rng)
+
+	var plans []*plan.Plan
+	for trial := 0; len(plans) < 4 && trial < 200; trial++ {
+		q := propQuery(rand.New(rand.NewSource(int64(3000 + trial))))
+		if err := q.Validate(cat); err != nil {
+			t.Fatal(err)
+		}
+		an, err := core.NewAnalysis(cat, q, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.EBCheck().EffectivelyBounded {
+			continue
+		}
+		p, err := plan.QPlan(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no executable plans generated")
+	}
+
+	refs := make([]*Result, len(plans))
+	for i, p := range plans {
+		ref, err := Run(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+
+	const workers = 8
+	ex := New(4)
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i, p := range plans {
+				res, err := ex.Run(p, db)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !sameTuples(res.Tuples, refs[i].Tuples) || res.DQSize != refs[i].DQSize || res.Stats != refs[i].Stats {
+					errc <- errMismatch
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -45,6 +45,10 @@ type Config struct {
 	// Workload overrides the generated 15-query workload (used by tests
 	// and the examples; empty means generate from Seed).
 	Workload []querygen.WorkloadQuery
+	// Parallelism is the evalDQ executor's probe worker-pool width
+	// (≤ 1 means sequential). Parallel and sequential runs return
+	// byte-identical answers; only wall time changes.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's parameters at a laptop-friendly size.
@@ -146,7 +150,9 @@ func prepare(ds *datagen.Dataset, acc *schema.AccessSchema, ws []querygen.Worklo
 // runPoint executes the prepared queries against one database and
 // aggregates a Point. Baselines run in the paper's MySQL mode
 // (ConstIndexOnly index-nested-loop) under the budget.
-func runPoint(label string, ps []prepared, db *storage.Database, budget int64) (Point, error) {
+func runPoint(label string, ps []prepared, db *storage.Database, cfg Config) (Point, error) {
+	budget := cfg.Budget
+	exe := exec.New(cfg.Parallelism)
 	pt := Point{X: label, Queries: len(ps)}
 	var evalMS, evalTuples, dqSum, boundSum float64
 	var baseMS, baseTuples float64
@@ -156,7 +162,7 @@ func runPoint(label string, ps []prepared, db *storage.Database, budget int64) (
 			boundSum += float64(p.pl.FetchBound.Int64())
 		}
 		start := time.Now()
-		res, err := exec.Run(p.pl, db)
+		res, err := exe.Run(p.pl, db)
 		if err != nil {
 			return pt, fmt.Errorf("evalDQ on %s: %w", p.wq.Query.Name, err)
 		}
@@ -221,7 +227,7 @@ func Fig5VaryD(ds *datagen.Dataset, cfg Config) (Panel, error) {
 		if err != nil {
 			return panel, err
 		}
-		pt, err := runPoint(fmt.Sprintf("%g", sf), ps, db, cfg.Budget)
+		pt, err := runPoint(fmt.Sprintf("%g", sf), ps, db, cfg)
 		if err != nil {
 			return panel, err
 		}
@@ -357,7 +363,7 @@ func Fig5VaryA(ds *datagen.Dataset, cfg Config) (Panel, error) {
 		if err != nil {
 			return panel, err
 		}
-		pt, err := runPoint(fmt.Sprintf("%d", n), ps, db, cfg.Budget)
+		pt, err := runPoint(fmt.Sprintf("%d", n), ps, db, cfg)
 		if err != nil {
 			return panel, err
 		}
@@ -407,7 +413,7 @@ func fig5GroupBy(ds *datagen.Dataset, cfg Config, what string, key func(prepared
 		return panel, err
 	}
 	for _, k := range keys {
-		pt, err := runPoint(fmt.Sprintf("%d", k), groups[k], db, cfg.Budget)
+		pt, err := runPoint(fmt.Sprintf("%d", k), groups[k], db, cfg)
 		if err != nil {
 			return panel, err
 		}

@@ -13,19 +13,30 @@
 //     accessed as well as wall time;
 //   - verification that a database satisfies an access schema (D |= A);
 //   - the data-side half of Lemma 1 (gD).
+//
+// # Concurrency and the immutability contract
+//
+// A Database goes through two phases. During loading, Insert appends
+// tuples from a single goroutine. BuildIndexes (or EnsureIndexes) then
+// seals the database: further Inserts are rejected, and from that point
+// on the database is immutable and every read path — Fetch, FetchBatch,
+// Scan, NonEmpty, RowLookup, ReadAt — is safe for concurrent use by any
+// number of goroutines. The access-statistics counters are atomic, so
+// concurrent readers never race on accounting either.
 package storage
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"bcq/internal/schema"
 	"bcq/internal/value"
 )
 
-// Stats counts storage accesses. The experiments reset it around each run
-// and report the totals; evalDQ's bounded-access claim is checked against
-// TuplesFetched.
+// Stats is a snapshot of the storage access counters. The experiments
+// reset the counters around each run and report the totals; evalDQ's
+// bounded-access claim is checked against TuplesFetched.
 type Stats struct {
 	// IndexLookups counts probes of any index.
 	IndexLookups int64
@@ -37,10 +48,39 @@ type Stats struct {
 }
 
 // Total returns all tuples touched, by any access path.
-func (s *Stats) Total() int64 { return s.TuplesFetched + s.TuplesScanned }
+func (s Stats) Total() int64 { return s.TuplesFetched + s.TuplesScanned }
 
-// Reset zeroes the counters.
-func (s *Stats) Reset() { *s = Stats{} }
+// Sub returns the delta s − before, the accesses performed between two
+// snapshots.
+func (s Stats) Sub(before Stats) Stats {
+	return Stats{
+		IndexLookups:  s.IndexLookups - before.IndexLookups,
+		TuplesFetched: s.TuplesFetched - before.TuplesFetched,
+		TuplesScanned: s.TuplesScanned - before.TuplesScanned,
+	}
+}
+
+// counters is the live, atomically updated form of Stats, so concurrent
+// executors can share one database without racing on accounting.
+type counters struct {
+	indexLookups  atomic.Int64
+	tuplesFetched atomic.Int64
+	tuplesScanned atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		IndexLookups:  c.indexLookups.Load(),
+		TuplesFetched: c.tuplesFetched.Load(),
+		TuplesScanned: c.tuplesScanned.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.indexLookups.Store(0)
+	c.tuplesFetched.Store(0)
+	c.tuplesScanned.Store(0)
+}
 
 // Relation is a bag of tuples positionally aligned with a schema.
 type Relation struct {
@@ -54,7 +94,10 @@ type Database struct {
 	rels   map[string]*Relation
 	access map[string]*AccessIndex // keyed by AccessConstraint.Key()
 	rowIdx map[string]*RowIndex    // keyed by rel + "." + attr
-	stats  Stats
+	stats  counters
+	// sealed is set by BuildIndexes/EnsureIndexes; a sealed database
+	// rejects Insert, which is what makes lock-free concurrent reads safe.
+	sealed bool
 }
 
 // NewDatabase creates an empty database with one empty relation per catalog
@@ -75,6 +118,10 @@ func NewDatabase(cat *schema.Catalog) *Database {
 // Catalog returns the catalog the database conforms to.
 func (db *Database) Catalog() *schema.Catalog { return db.cat }
 
+// Sealed reports whether the database has been sealed by index
+// construction (and therefore rejects further Inserts).
+func (db *Database) Sealed() bool { return db.sealed }
+
 // Relation returns the named relation, or an error for unknown names.
 func (db *Database) Relation(name string) (*Relation, error) {
 	r, ok := db.rels[name]
@@ -94,9 +141,14 @@ func (db *Database) MustRelation(name string) *Relation {
 }
 
 // Insert appends a tuple to the named relation after arity-checking it.
-// Indexes built before an Insert are invalidated; build indexes after
-// loading. It returns an error on unknown relations or arity mismatch.
+// Inserting into a sealed database (one whose indexes have been built) is
+// an error: indexes record witness positions, so mutation would silently
+// corrupt every subsequent bounded evaluation. Load all data first, then
+// call BuildIndexes.
 func (db *Database) Insert(rel string, t value.Tuple) error {
+	if db.sealed {
+		return fmt.Errorf("storage: relation %s is sealed (indexes built); load data before BuildIndexes", rel)
+	}
 	r, err := db.Relation(rel)
 	if err != nil {
 		return err
@@ -117,9 +169,13 @@ func (db *Database) NumTuples() int64 {
 	return n
 }
 
-// Stats returns the access counters. The pointer is shared by all access
-// paths of this database.
-func (db *Database) Stats() *Stats { return &db.stats }
+// Stats returns a snapshot of the access counters. The live counters are
+// atomic; the snapshot is a plain value, so two snapshots can be
+// subtracted (Stats.Sub) to measure one evaluation.
+func (db *Database) Stats() Stats { return db.stats.snapshot() }
+
+// ResetStats zeroes the access counters.
+func (db *Database) ResetStats() { db.stats.reset() }
 
 // Scan iterates every tuple of a relation, counting each against the scan
 // statistics. The callback returning false stops the scan early.
@@ -129,7 +185,7 @@ func (db *Database) Scan(rel string, f func(pos int, t value.Tuple) bool) error 
 		return err
 	}
 	for i, t := range r.Tuples {
-		db.stats.TuplesScanned++
+		db.stats.tuplesScanned.Add(1)
 		if !f(i, t) {
 			return nil
 		}
@@ -148,14 +204,20 @@ func (db *Database) NonEmpty(rel string) (bool, error) {
 	if len(r.Tuples) == 0 {
 		return false, nil
 	}
-	db.stats.TuplesFetched++
+	db.stats.tuplesFetched.Add(1)
 	return true, nil
 }
 
 // SortRelations orders every relation's tuples lexicographically. Loads are
 // deterministic already; sorting exists so tests can compare whole
-// databases structurally.
+// databases structurally. Like Insert, it is a load-phase operation:
+// reordering a sealed database would silently invalidate every index's
+// witness positions, so that is rejected with a panic (it is a programming
+// bug, and the method predates error returns here).
 func (db *Database) SortRelations() {
+	if db.sealed {
+		panic("storage: SortRelations on a sealed database would invalidate index positions")
+	}
 	for _, r := range db.rels {
 		sort.Slice(r.Tuples, func(i, j int) bool { return r.Tuples[i].Compare(r.Tuples[j]) < 0 })
 	}

@@ -96,10 +96,39 @@ func (e *ViolationError) Error() string {
 func (idx *AccessIndex) MaxGroup() int { return idx.maxGroup }
 
 // BuildIndexes builds the access index for every constraint of the schema
-// that applies to this database, verifying D |= A in the process. It is
-// idempotent: rebuilding replaces existing indexes.
+// that applies to this database, verifying D |= A in the process, and
+// seals the database against further Inserts (see the package comment's
+// immutability contract). It is idempotent: rebuilding replaces the whole
+// index set, so indexing a restricted schema drops indexes the restriction
+// no longer grants.
 func (db *Database) BuildIndexes(a *schema.AccessSchema) error {
+	fresh := make(map[string]*AccessIndex, a.Size())
 	for _, ac := range a.Constraints() {
+		rel, err := db.Relation(ac.Rel)
+		if err != nil {
+			return err
+		}
+		idx, err := BuildAccessIndex(rel, ac)
+		if err != nil {
+			return err
+		}
+		fresh[ac.Key()] = idx
+	}
+	db.access = fresh
+	db.sealed = true
+	return nil
+}
+
+// EnsureIndexes builds the access indexes of the schema that are missing,
+// keeping any already built (BuildIndexes instead replaces the whole set).
+// Like BuildIndexes it seals the database. The engine uses it so that a
+// database loaded through datagen (which indexes its full schema) is not
+// re-indexed on engine construction.
+func (db *Database) EnsureIndexes(a *schema.AccessSchema) error {
+	for _, ac := range a.Constraints() {
+		if _, ok := db.access[ac.Key()]; ok {
+			continue
+		}
 		rel, err := db.Relation(ac.Rel)
 		if err != nil {
 			return err
@@ -110,6 +139,7 @@ func (db *Database) BuildIndexes(a *schema.AccessSchema) error {
 		}
 		db.access[ac.Key()] = idx
 	}
+	db.sealed = true
 	return nil
 }
 
@@ -141,10 +171,36 @@ func (db *Database) Fetch(ac schema.AccessConstraint, xVals value.Tuple) ([]Inde
 	if len(xVals) != len(ac.X) {
 		return nil, fmt.Errorf("storage: constraint %s expects %d lookup values, got %d", ac, len(ac.X), len(xVals))
 	}
-	db.stats.IndexLookups++
+	db.stats.indexLookups.Add(1)
 	entries := idx.m[xVals.Key()]
-	db.stats.TuplesFetched += int64(len(entries))
+	db.stats.tuplesFetched.Add(int64(len(entries)))
 	return entries, nil
+}
+
+// FetchBatch probes the access index of a constraint once per X-tuple and
+// returns the entry groups aligned with xs (group i answers xs[i]). It is
+// the batched form of Fetch — one index resolution and one arity check for
+// the whole batch — and the unit of work the parallel executor hands to a
+// worker. Counts one index lookup per probe and one fetched tuple per
+// returned entry. Callers must not mutate the returned entry slices.
+func (db *Database) FetchBatch(ac schema.AccessConstraint, xs []value.Tuple) ([][]IndexEntry, error) {
+	idx, ok := db.access[ac.Key()]
+	if !ok {
+		return nil, fmt.Errorf("storage: no index built for constraint %s", ac)
+	}
+	out := make([][]IndexEntry, len(xs))
+	var fetched int64
+	for i, x := range xs {
+		if len(x) != len(ac.X) {
+			return nil, fmt.Errorf("storage: constraint %s expects %d lookup values, got %d", ac, len(ac.X), len(x))
+		}
+		entries := idx.m[x.Key()]
+		out[i] = entries
+		fetched += int64(len(entries))
+	}
+	db.stats.indexLookups.Add(int64(len(xs)))
+	db.stats.tuplesFetched.Add(fetched)
+	return out, nil
 }
 
 // HasAccessIndex reports whether an index for the constraint has been
@@ -167,7 +223,9 @@ type RowIndex struct {
 }
 
 // BuildRowIndexes builds a RowIndex for every attribute that appears in
-// some constraint's X (the "indices specified in A"). Idempotent.
+// some constraint's X (the "indices specified in A"). Idempotent. Like
+// BuildIndexes it seals the database: row indexes record tuple positions
+// too, so inserting after building them would stale every RowLookup.
 func (db *Database) BuildRowIndexes(a *schema.AccessSchema) error {
 	for _, ac := range a.Constraints() {
 		for _, attr := range ac.X {
@@ -179,7 +237,8 @@ func (db *Database) BuildRowIndexes(a *schema.AccessSchema) error {
 	return nil
 }
 
-// BuildRowIndex builds (or rebuilds) the row index on one attribute.
+// BuildRowIndex builds the row index on one attribute (a no-op when it
+// already exists) and seals the database.
 func (db *Database) BuildRowIndex(rel, attr string) error {
 	r, err := db.Relation(rel)
 	if err != nil {
@@ -189,6 +248,7 @@ func (db *Database) BuildRowIndex(rel, attr string) error {
 	if p < 0 {
 		return fmt.Errorf("storage: relation %s has no attribute %s", rel, attr)
 	}
+	db.sealed = true
 	key := rel + "." + attr
 	if _, exists := db.rowIdx[key]; exists {
 		return nil
@@ -216,7 +276,7 @@ func (db *Database) RowLookup(rel, attr string, v value.Value) (positions []int,
 	if !exists {
 		return nil, false
 	}
-	db.stats.IndexLookups++
+	db.stats.indexLookups.Add(1)
 	return idx.m[v], true
 }
 
@@ -230,6 +290,6 @@ func (db *Database) ReadAt(rel string, pos int) (value.Tuple, error) {
 	if pos < 0 || pos >= len(r.Tuples) {
 		return nil, fmt.Errorf("storage: position %d out of range for relation %s", pos, rel)
 	}
-	db.stats.TuplesFetched++
+	db.stats.tuplesFetched.Add(1)
 	return r.Tuples[pos], nil
 }

@@ -68,7 +68,7 @@ func TestNumTuples(t *testing.T) {
 
 func TestScanCountsAndStops(t *testing.T) {
 	db := smallSocialDB(t)
-	db.Stats().Reset()
+	db.ResetStats()
 	n := 0
 	if err := db.Scan("friends", func(pos int, tu value.Tuple) bool {
 		n++
@@ -90,7 +90,7 @@ func TestBuildIndexesAndFetch(t *testing.T) {
 	if err := db.BuildIndexes(a); err != nil {
 		t.Fatal(err)
 	}
-	db.Stats().Reset()
+	db.ResetStats()
 	ac := a.ForRelation("in_album")[0]
 	entries, err := db.Fetch(ac, value.Tuple{value.Str("a0")})
 	if err != nil {
@@ -109,7 +109,7 @@ func TestBuildIndexesAndFetch(t *testing.T) {
 	}
 	st := db.Stats()
 	if st.IndexLookups != 1 || st.TuplesFetched != 2 {
-		t.Errorf("stats = %+v", *st)
+		t.Errorf("stats = %+v", st)
 	}
 	// Missing X-value: empty, still one lookup.
 	entries, err = db.Fetch(ac, value.Tuple{value.Str("a99")})
@@ -151,7 +151,7 @@ func TestIndexDistinctYWithDuplicates(t *testing.T) {
 	if err := db.BuildIndexes(a); err != nil {
 		t.Fatal(err)
 	}
-	db.Stats().Reset()
+	db.ResetStats()
 	entries, err := db.Fetch(ac, value.Tuple{value.Int(1)})
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +217,7 @@ func TestRowIndexes(t *testing.T) {
 	if err := db.BuildRowIndexes(a); err != nil {
 		t.Fatal(err)
 	}
-	db.Stats().Reset()
+	db.ResetStats()
 	pos, ok := db.RowLookup("friends", "user_id", value.Str("u0"))
 	if !ok || len(pos) != 2 {
 		t.Fatalf("RowLookup = %v, %v", pos, ok)
@@ -244,7 +244,7 @@ func TestRowIndexes(t *testing.T) {
 
 func TestNonEmpty(t *testing.T) {
 	db := smallSocialDB(t)
-	db.Stats().Reset()
+	db.ResetStats()
 	ok, err := db.NonEmpty("friends")
 	if err != nil || !ok {
 		t.Fatalf("NonEmpty(friends) = %v, %v", ok, err)
