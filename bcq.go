@@ -30,7 +30,23 @@
 //
 // Databases live in an in-memory storage engine (NewDatabase, Insert,
 // BuildIndexes); the executors report how many tuples they touched, so the
-// boundedness guarantee is observable. See the examples/ directory and
+// boundedness guarantee is observable.
+//
+// Index construction seals the database; to keep serving exact, bounded
+// answers while ingesting writes, wrap it in the live layer. A live
+// database applies Inserts/Deletes incrementally (copy-on-write on the
+// touched index groups, no rebuilds), rejects or quarantines writes that
+// would break D |= A — so every cached plan stays sound — and publishes
+// each batch as a new immutable epoch; readers pin a snapshot and never
+// block writers:
+//
+//	ld, _ := bcq.NewLiveDatabase(db, acc, bcq.LiveOptions{})
+//	eng, _ := bcq.NewLiveEngine(ld, bcq.EngineOptions{Parallelism: 4})
+//	p, _ := eng.Prepare("select ... where user_id = ?")
+//	ld.Apply([]bcq.LiveOp{bcq.InsertOp("friends", t)})  // atomic batch
+//	res, _ := p.Exec(bcq.Int(74))  // pins the snapshot current now
+//
+// See the examples/ directory (examples/streaming for the live layer) and
 // DESIGN.md for the full system map.
 package bcq
 
@@ -39,6 +55,7 @@ import (
 	"bcq/internal/core"
 	"bcq/internal/engine"
 	"bcq/internal/exec"
+	"bcq/internal/live"
 	"bcq/internal/plan"
 	"bcq/internal/schema"
 	"bcq/internal/spc"
@@ -190,6 +207,14 @@ type (
 // NewDatabase creates an empty database over a catalog.
 func NewDatabase(cat *Catalog) *Database { return storage.NewDatabase(cat) }
 
+// ErrSealed matches (errors.Is) inserts rejected because the database was
+// sealed by index construction; mutate through a live database instead.
+var ErrSealed = storage.ErrSealed
+
+// Store is the read surface bounded evaluation runs against: a sealed
+// *Database or a pinned *LiveSnapshot.
+type Store = exec.Store
+
 // Result is a bounded-evaluation answer with access statistics.
 type Result = exec.Result
 
@@ -197,6 +222,10 @@ type Result = exec.Result
 // must have indexes built for the plan's access schema
 // (db.BuildIndexes(acc)).
 func Execute(p *Plan, db *Database) (*Result, error) { return exec.Run(p, db) }
+
+// ExecuteOn is Execute against any store — in particular a pinned live
+// snapshot, which evaluates in full isolation from concurrent writes.
+func ExecuteOn(p *Plan, st Store) (*Result, error) { return exec.Run(p, st) }
 
 // ExecuteParallel is Execute with the plan's index probes fanned out over
 // a bounded pool of parallelism workers. Results are byte-identical to
@@ -226,6 +255,64 @@ type (
 // goroutines.
 func NewEngine(cat *Catalog, acc *AccessSchema, db *Database, opts EngineOptions) (*Engine, error) {
 	return engine.New(cat, acc, db, opts)
+}
+
+// Re-exported live-layer types.
+type (
+	// LiveDatabase is the mutable layer over a sealed database:
+	// epoch-versioned snapshots, incremental index maintenance, writes
+	// checked against the access schema so D |= A stays invariant.
+	LiveDatabase = live.Store
+	// LiveSnapshot is one pinned epoch: an immutable consistent view that
+	// bounded evaluation runs against.
+	LiveSnapshot = live.Snapshot
+	// LiveOp is one write operation of an atomic batch.
+	LiveOp = live.Op
+	// LiveOptions tunes a live database (violation mode).
+	LiveOptions = live.Options
+	// LiveMode selects how schema-violating writes are treated.
+	LiveMode = live.Mode
+	// LiveIngestStats counts a live database's write-side activity.
+	LiveIngestStats = live.IngestStats
+	// LiveQuarantined is one op a permissive live database refused.
+	LiveQuarantined = live.Quarantined
+)
+
+// Live violation modes: LiveStrict rejects a whole batch on the first
+// violating op; LivePermissive quarantines violators and commits the rest.
+const (
+	LiveStrict     = live.Strict
+	LivePermissive = live.Permissive
+)
+
+// ErrLiveBound matches (errors.Is) writes rejected because they would
+// push an access-constraint group past its bound, breaking D |= A.
+var ErrLiveBound = live.ErrBound
+
+// ErrLiveNoSuchTuple matches (errors.Is) deletes whose target tuple has
+// no live occurrence.
+var ErrLiveNoSuchTuple = live.ErrNoSuchTuple
+
+// InsertOp builds an insert op for LiveDatabase.Apply.
+func InsertOp(rel string, t Tuple) LiveOp { return live.Insert(rel, t) }
+
+// DeleteOp builds a delete op for LiveDatabase.Apply.
+func DeleteOp(rel string, t Tuple) LiveOp { return live.Delete(rel, t) }
+
+// NewLiveDatabase wraps a loaded database in the live layer. Missing
+// access indexes are built (verifying D |= A) and the base is sealed; the
+// one-time bootstrap also records the per-pair bookkeeping that makes
+// every subsequent write incremental. Use Apply/Insert/Delete to write,
+// Snapshot to pin a read view, and NewLiveEngine to serve queries.
+func NewLiveDatabase(db *Database, acc *AccessSchema, opts LiveOptions) (*LiveDatabase, error) {
+	return live.New(db, acc, opts)
+}
+
+// NewLiveEngine builds a prepared-query engine over a live database:
+// every execution pins the current snapshot, so answers stay exact and
+// bounded while writes stream in.
+func NewLiveEngine(ld *LiveDatabase, opts EngineOptions) (*Engine, error) {
+	return engine.NewLive(ld, opts)
 }
 
 // BaselineResult is a full-data evaluation answer.

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bcq/internal/experiments"
+)
+
+// smokeConfig trims the quick configuration further: the smoke test
+// exercises the experiment plumbing (panel run, rendering, CSV dump),
+// not the paper's full sweep.
+func smokeConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Scales = []float64{1.0 / 32}
+	cfg.FixedScale = 1.0 / 32
+	cfg.Budget = 100_000
+	return cfg
+}
+
+func TestRunSinglePanelWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a dataset and runs a workload panel")
+	}
+	dir := t.TempDir()
+	if err := run(smokeConfig(), "fig5a", dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5a.csv"))
+	if err != nil {
+		t.Fatalf("panel CSV not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("panel CSV is empty")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	// Table 2 scales synthetic queries without building datasets — cheap
+	// enough to run even with -short.
+	if err := run(smokeConfig(), "table2", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	// An unrecognized -only matches no experiment and must not error.
+	if err := run(smokeConfig(), "nope", ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,13 +3,19 @@ package main
 import "testing"
 
 func TestRunSingleQuery(t *testing.T) {
-	if err := run("social", 1.0/32, "../../testdata/q0.sql", false, 100_000, 1); err != nil {
+	if err := run("social", 1.0/32, "../../testdata/q0.sql", false, 100_000, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleQueryParallel(t *testing.T) {
-	if err := run("social", 1.0/32, "../../testdata/q0.sql", false, 100_000, 4); err != nil {
+	if err := run("social", 1.0/32, "../../testdata/q0.sql", false, 100_000, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIngest(t *testing.T) {
+	if err := run("social", 1.0/32, "../../testdata/q0.sql", false, 100_000, 2, 5_000); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -18,19 +24,19 @@ func TestRunWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a dataset and runs 15 queries")
 	}
-	if err := run("mot", 1.0/32, "", true, 200_000, 2); err != nil {
+	if err := run("mot", 1.0/32, "", true, 200_000, 2, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadInputs(t *testing.T) {
-	if err := run("nope", 1, "", true, 0, 1); err == nil {
+	if err := run("nope", 1, "", true, 0, 1, 0); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run("social", 1.0/32, "", false, 0, 1); err == nil {
+	if err := run("social", 1.0/32, "", false, 0, 1, 0); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := run("social", 1.0/32, "missing.sql", false, 0, 1); err == nil {
+	if err := run("social", 1.0/32, "missing.sql", false, 0, 1, 0); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -28,11 +28,31 @@ import (
 	"sync/atomic"
 
 	"bcq/internal/exec"
+	"bcq/internal/live"
 	"bcq/internal/schema"
 	"bcq/internal/spc"
 	"bcq/internal/storage"
 	"bcq/internal/value"
 )
+
+// Source yields the store an evaluation runs against. A sealed database
+// is a constant source; a live store yields its current snapshot, so
+// every execution pins one immutable epoch — readers never block
+// writers, and per-result access statistics stay exact under concurrent
+// ingest.
+type Source interface {
+	View() exec.Store
+}
+
+// dbSource serves a sealed database forever.
+type dbSource struct{ db *storage.Database }
+
+func (s dbSource) View() exec.Store { return s.db }
+
+// liveSource pins the live store's current epoch per evaluation.
+type liveSource struct{ ls *live.Store }
+
+func (s liveSource) View() exec.Store { return s.ls.Snapshot() }
 
 // Options tunes an engine.
 type Options struct {
@@ -71,7 +91,10 @@ type Stats struct {
 type Engine struct {
 	cat *schema.Catalog
 	acc *schema.AccessSchema
+	// db is the sealed base database (for a live engine, the base the
+	// live store grew from); src is what executions actually read.
 	db  *storage.Database
+	src Source
 	exe *exec.Executor
 
 	mu     sync.Mutex
@@ -107,6 +130,23 @@ func New(cat *schema.Catalog, acc *schema.AccessSchema, db *storage.Database, op
 	if err := db.EnsureIndexes(acc); err != nil {
 		return nil, fmt.Errorf("engine: indexing database: %w", err)
 	}
+	return assemble(cat, acc, db, dbSource{db}, opts), nil
+}
+
+// NewLive builds an engine over a live store: executions pin the store's
+// current snapshot, so queries serve exact, bounded answers while the
+// store ingests writes. The store's construction already verified
+// D |= A and sealed the base, and every accepted write preserves the
+// invariant, so each cached plan stays sound for every future epoch.
+func NewLive(ls *live.Store, opts Options) (*Engine, error) {
+	if ls == nil {
+		return nil, fmt.Errorf("engine: live store is required")
+	}
+	return assemble(ls.Catalog(), ls.Access(), ls.Base(), liveSource{ls}, opts), nil
+}
+
+// assemble wires the shared engine internals.
+func assemble(cat *schema.Catalog, acc *schema.AccessSchema, db *storage.Database, src Source, opts Options) *Engine {
 	size := opts.PlanCacheSize
 	if size <= 0 {
 		size = DefaultPlanCacheSize
@@ -115,10 +155,11 @@ func New(cat *schema.Catalog, acc *schema.AccessSchema, db *storage.Database, op
 		cat:    cat,
 		acc:    acc,
 		db:     db,
+		src:    src,
 		exe:    exec.New(opts.Parallelism),
 		cache:  newLRUCache(size),
 		flight: make(map[string]*inflight),
-	}, nil
+	}
 }
 
 // Catalog returns the engine's catalog.
@@ -127,8 +168,16 @@ func (e *Engine) Catalog() *schema.Catalog { return e.cat }
 // Access returns the engine's access schema.
 func (e *Engine) Access() *schema.AccessSchema { return e.acc }
 
-// Database returns the engine's (sealed) database.
+// Database returns the engine's sealed base database. For a live engine
+// this is the base the live store grew from, not the current epoch; use
+// View (or the live store's Snapshot) for current data.
 func (e *Engine) Database() *storage.Database { return e.db }
+
+// View pins the store one evaluation would run against: the sealed
+// database, or the live store's current snapshot. Callers that need
+// several queries answered from one consistent epoch pin a view once and
+// pass it to Prepared.ExecOn.
+func (e *Engine) View() exec.Store { return e.src.View() }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {

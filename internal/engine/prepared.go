@@ -128,8 +128,17 @@ func (p *Prepared) NumParams() int { return len(p.slots) }
 // Exec runs the prepared plan with the given placeholder arguments (in
 // placeholder order), returning the bounded-evaluation result. The only
 // per-request work is binding the arguments into the plan's seeds and the
-// bounded data access itself.
+// bounded data access itself. Each call pins one view from the engine's
+// source — for a live engine, the snapshot current at call time — so the
+// evaluation is isolated from concurrent writes.
 func (p *Prepared) Exec(args ...value.Value) (*exec.Result, error) {
+	return p.ExecOn(p.eng.src.View(), args...)
+}
+
+// ExecOn is Exec against an explicitly pinned store: a sealed database or
+// a live snapshot the caller holds. Use it to answer several queries from
+// one consistent epoch, or to re-evaluate on a historical snapshot.
+func (p *Prepared) ExecOn(st exec.Store, args ...value.Value) (*exec.Result, error) {
 	p.eng.execs.Add(1)
 	if len(args) != len(p.slots) {
 		return nil, fmt.Errorf("engine: query %s expects %d arguments, got %d",
@@ -141,7 +150,7 @@ func (p *Prepared) Exec(args ...value.Value) (*exec.Result, error) {
 		}
 	}
 	if len(p.slots) == 0 {
-		return p.eng.exe.Run(p.pl, p.eng.db)
+		return p.eng.exe.Run(p.pl, st)
 	}
 
 	// Bind: one value per placeholder class. Conflicting bindings — two
@@ -174,7 +183,7 @@ func (p *Prepared) Exec(args ...value.Value) (*exec.Result, error) {
 		}
 	}
 	bound.Seeds = seeds
-	return p.eng.exe.Run(&bound, p.eng.db)
+	return p.eng.exe.Run(&bound, st)
 }
 
 // emptyResult is the answer of an unsatisfiable argument binding: no

@@ -32,9 +32,25 @@ import (
 	"sort"
 
 	"bcq/internal/plan"
+	"bcq/internal/schema"
 	"bcq/internal/storage"
 	"bcq/internal/value"
 )
+
+// Store is the read surface bounded evaluation needs: batched
+// access-constraint probes and O(1) non-emptiness checks. A sealed
+// *storage.Database satisfies it directly; a live snapshot
+// (internal/live.Snapshot) satisfies it by overlaying deltas on a sealed
+// base, which is how one executor serves both frozen and live data.
+// Implementations must be safe for concurrent use and must return entry
+// groups the caller may read but not mutate.
+type Store interface {
+	// FetchBatch probes the constraint's index once per X-tuple, returning
+	// entry groups aligned with xs (group i answers xs[i]).
+	FetchBatch(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error)
+	// NonEmpty reports whether a relation has at least one tuple.
+	NonEmpty(rel string) (bool, error)
+}
 
 // Result is a query answer plus the access statistics of the evaluation.
 type Result struct {
@@ -70,14 +86,15 @@ var sequential = &Executor{}
 
 // Run executes a bounded plan sequentially — the original evalDQ entry
 // point, kept for callers that need no concurrency.
-func Run(p *plan.Plan, db *storage.Database) (*Result, error) {
+func Run(p *plan.Plan, db Store) (*Result, error) {
 	return sequential.Run(p, db)
 }
 
-// Run executes a bounded plan against a database. The database must have
-// indexes built for every constraint the plan uses (storage.BuildIndexes
-// with the access schema the plan was generated under).
-func (e *Executor) Run(p *plan.Plan, db *storage.Database) (*Result, error) {
+// Run executes a bounded plan against a store: a sealed database or a
+// pinned live snapshot. The store must have indexes built for every
+// constraint the plan uses (storage.BuildIndexes with the access schema
+// the plan was generated under, or a live store over such a base).
+func (e *Executor) Run(p *plan.Plan, db Store) (*Result, error) {
 	r := &run{ex: e, p: p, db: db, res: &Result{}}
 	return r.execute()
 }
@@ -89,7 +106,7 @@ func (e *Executor) Run(p *plan.Plan, db *storage.Database) (*Result, error) {
 type run struct {
 	ex *Executor
 	p  *plan.Plan
-	db *storage.Database
+	db Store
 
 	res     *Result
 	lookups int64

@@ -1,0 +1,479 @@
+// Package live is the mutable layer over the sealed storage engine: it
+// accepts Inserts and Deletes while readers keep the exactness and
+// bounded-access guarantees of evalDQ.
+//
+// The paper's boundedness guarantee holds only while D |= A, and
+// internal/storage enforces that by sealing a database once its access
+// indices are built. A live Store keeps the sealed database as an
+// immutable base and layers epoch-versioned snapshots on top:
+//
+//   - every write batch is checked against the access schema before it
+//     touches anything — an insert that would push an X-group of some
+//     constraint X → (Y, N) past its bound N is rejected (Strict mode) or
+//     diverted to a quarantine list (Permissive mode), so D |= A stays
+//     invariant and every cached plan stays sound without invalidation;
+//   - accepted batches maintain the access-constraint indices
+//     incrementally: only the touched X-groups are copied and rewritten
+//     (copy-on-write), never the whole index;
+//   - a batch commits atomically by publishing a new Snapshot through an
+//     atomic pointer. Readers pin the current snapshot and evaluate
+//     against it alone: they never block writers, writers never block
+//     readers, and a pinned snapshot is immutable forever.
+//
+// Snapshots form a chain of small epoch diffs over the base; lookups walk
+// the chain youngest-first and fall through to the base index. Every
+// maxChainDepth commits the chain is flattened into a single diff so read
+// cost stays bounded regardless of write history.
+//
+// Writers are serialized by a mutex (single-writer, many-reader — the
+// HTAP split Polynesia frames as "updates must not break analytical
+// reads"). A batch is all-or-nothing in Strict mode; in Permissive mode
+// structurally valid ops that violate a bound are quarantined and the
+// rest of the batch commits.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bcq/internal/schema"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// Mode selects how a Store treats writes that would violate the access
+// schema.
+type Mode uint8
+
+const (
+	// Strict rejects the whole batch on the first violating op (the
+	// default: ingest pipelines find out immediately).
+	Strict Mode = iota
+	// Permissive quarantines violating ops and commits the rest, so a hot
+	// ingest path never stalls on dirty data. Quarantined ops are
+	// retrievable through Quarantine.
+	Permissive
+)
+
+// String names the mode for diagnostics.
+func (m Mode) String() string {
+	switch m {
+	case Strict:
+		return "strict"
+	case Permissive:
+		return "permissive"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Options tunes a Store.
+type Options struct {
+	// Mode is the violation policy (default Strict).
+	Mode Mode
+}
+
+// ErrBound is the sentinel matched by errors.Is when a write is rejected
+// because it would push an access-constraint group past its bound N,
+// breaking D |= A. The concrete error is a *BoundError.
+var ErrBound = errors.New("write would violate an access constraint")
+
+// BoundError reports the constraint a rejected insert would have
+// violated.
+type BoundError struct {
+	// AC is the violated constraint X → (Y, N).
+	AC schema.AccessConstraint
+	// XValue is the group that is already at its bound.
+	XValue value.Tuple
+	// Tuple is the rejected tuple.
+	Tuple value.Tuple
+}
+
+func (e *BoundError) Error() string {
+	return fmt.Sprintf("live: inserting %s into %s would give X-value %s more than %d distinct Y-values (constraint %s)",
+		e.Tuple, e.AC.Rel, e.XValue, e.AC.N, e.AC)
+}
+
+// Unwrap makes errors.Is(err, ErrBound) match.
+func (e *BoundError) Unwrap() error { return ErrBound }
+
+// ErrNoSuchTuple is the sentinel matched by errors.Is when a Delete names
+// a tuple with no live occurrence. The concrete error is a
+// *NotFoundError.
+var ErrNoSuchTuple = errors.New("no live occurrence of the tuple")
+
+// NotFoundError reports a delete whose target tuple is not in the live
+// data.
+type NotFoundError struct {
+	Rel   string
+	Tuple value.Tuple
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("live: relation %s has no live occurrence of %s", e.Rel, e.Tuple)
+}
+
+// Unwrap makes errors.Is(err, ErrNoSuchTuple) match.
+func (e *NotFoundError) Unwrap() error { return ErrNoSuchTuple }
+
+// OpKind enumerates write operations.
+type OpKind uint8
+
+const (
+	// OpInsert adds one occurrence of a tuple (bag semantics).
+	OpInsert OpKind = iota
+	// OpDelete removes one live occurrence of an exactly-equal tuple.
+	OpDelete
+)
+
+// String names the kind for diagnostics.
+func (k OpKind) String() string {
+	if k == OpInsert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Op is one write operation of a batch.
+type Op struct {
+	Kind  OpKind
+	Rel   string
+	Tuple value.Tuple
+}
+
+// Insert builds an insert op.
+func Insert(rel string, t value.Tuple) Op { return Op{Kind: OpInsert, Rel: rel, Tuple: t} }
+
+// Delete builds a delete op.
+func Delete(rel string, t value.Tuple) Op { return Op{Kind: OpDelete, Rel: rel, Tuple: t} }
+
+// Quarantined is one op a Permissive store refused, with the violation
+// that disqualified it and the epoch current after its batch: the epoch
+// the rest of the batch published, or the unchanged epoch when nothing
+// of the batch committed.
+type Quarantined struct {
+	Op    Op
+	Err   error
+	Epoch uint64
+}
+
+// IngestStats counts the write-side activity of a Store.
+type IngestStats struct {
+	// Batches counts Apply calls that reached validation (including
+	// rejected ones).
+	Batches int64
+	// OpsApplied counts ops committed into an epoch.
+	OpsApplied int64
+	// OpsRejected counts ops refused in Strict mode (each aborts its whole
+	// batch).
+	OpsRejected int64
+	// OpsQuarantined counts ops diverted in Permissive mode.
+	OpsQuarantined int64
+	// Epochs is the current epoch number (0 = the pristine base).
+	Epochs uint64
+	// Flattens counts snapshot-chain flattenings.
+	Flattens int64
+	// Compactions counts Compact calls that published a fresh base.
+	Compactions int64
+}
+
+// acBinding caches one constraint's positional bindings on its relation.
+type acBinding struct {
+	ac   schema.AccessConstraint
+	key  string
+	xPos []int
+	yPos []int
+}
+
+// pairEntry is the writer-side bookkeeping of one live (X, Y) pair of one
+// constraint: its multiplicity and the positions of all tuples that ever
+// carried it (dead ones are skipped through the snapshot's deleted sets).
+// The positions exist so a delete of the current witness can re-witness
+// the pair to the first remaining live occurrence — which keeps live
+// index groups structurally identical to what a from-scratch rebuild
+// (Snapshot.Freeze) would produce.
+type pairEntry struct {
+	count     int
+	positions []int
+}
+
+// Store is the mutable live layer over one sealed base database. Readers
+// pin snapshots (Snapshot) and never block; writers (Apply, Insert,
+// Delete) are serialized and publish new epochs atomically.
+type Store struct {
+	base *storage.Database
+	cat  *schema.Catalog
+	acc  *schema.AccessSchema
+	mode Mode
+
+	// cur is the published snapshot; readers load it without locking.
+	cur atomic.Pointer[Snapshot]
+
+	// mu serializes writers and guards the writer-owned state below.
+	mu sync.Mutex
+	// byRel maps a relation to the constraints on it; byKey maps a
+	// constraint key to its binding (for Fetch validation).
+	byRel map[string][]acBinding
+	byKey map[string]acBinding
+	// pairs is per constraint key the live (X, Y) pair bookkeeping.
+	pairs map[string]map[string]*pairEntry
+	// tupPos maps rel → tuple key → positions of all occurrences ever
+	// (base and added; dead ones skipped via the deleted sets).
+	tupPos map[string]map[string][]int
+	// baseLen is the immutable base tuple count per relation; added
+	// positions start there.
+	baseLen map[string]int
+	// quarantine accumulates Permissive-mode refusals.
+	quarantine []Quarantined
+
+	// read-side counters (atomic; see Stats).
+	lookups atomic.Int64
+	fetched atomic.Int64
+	scanned atomic.Int64
+	// ingest counters.
+	batches     atomic.Int64
+	applied     atomic.Int64
+	rejected    atomic.Int64
+	quarantined atomic.Int64
+	flattens    atomic.Int64
+	compactions atomic.Int64
+}
+
+// New builds a live store over a loaded database. The database's access
+// indices for the schema are built if missing (verifying D |= A and
+// sealing the base); the one-time bootstrap pass also records per-pair
+// multiplicities and tuple positions — the same cost class as index
+// construction, paid once so that every subsequent write is incremental.
+func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store, error) {
+	if base == nil || acc == nil {
+		return nil, fmt.Errorf("live: base database and access schema are both required")
+	}
+	cat := base.Catalog()
+	if err := acc.Validate(cat); err != nil {
+		return nil, fmt.Errorf("live: access schema does not match catalog: %w", err)
+	}
+	if err := base.EnsureIndexes(acc); err != nil {
+		return nil, fmt.Errorf("live: indexing base database: %w", err)
+	}
+	st := &Store{
+		base:  base,
+		cat:   cat,
+		acc:   acc,
+		mode:  opts.Mode,
+		byRel: make(map[string][]acBinding),
+		byKey: make(map[string]acBinding),
+	}
+	for _, ac := range acc.Constraints() {
+		rel, err := base.Relation(ac.Rel)
+		if err != nil {
+			return nil, err
+		}
+		xPos, err := rel.Schema.Positions(ac.X)
+		if err != nil {
+			return nil, err
+		}
+		yPos, err := rel.Schema.Positions(ac.Y)
+		if err != nil {
+			return nil, err
+		}
+		b := acBinding{ac: ac, key: ac.Key(), xPos: xPos, yPos: yPos}
+		st.byRel[ac.Rel] = append(st.byRel[ac.Rel], b)
+		st.byKey[b.key] = b
+	}
+	size, total := st.bootstrap(base)
+	root := &Snapshot{st: st, base: base, size: size, numTuples: total}
+	st.cur.Store(root)
+	return st, nil
+}
+
+// bootstrap (re)builds the writer-side bookkeeping — per-pair
+// multiplicities and positions, tuple positions, base lengths — with one
+// pass per relation per constraint over a sealed base, returning the
+// per-relation sizes. Called under mu (or before the store is shared).
+func (st *Store) bootstrap(base *storage.Database) (size map[string]int64, total int64) {
+	st.baseLen = make(map[string]int, st.cat.NumRelations())
+	st.tupPos = make(map[string]map[string][]int, st.cat.NumRelations())
+	st.pairs = make(map[string]map[string]*pairEntry, len(st.byKey))
+	for key, b := range st.byKey {
+		rel := base.MustRelation(b.ac.Rel)
+		pairs := make(map[string]*pairEntry)
+		for pos, t := range rel.Tuples {
+			pk := pairKey(t, b.xPos, b.yPos)
+			pe := pairs[pk]
+			if pe == nil {
+				pe = &pairEntry{}
+				pairs[pk] = pe
+			}
+			pe.count++
+			pe.positions = append(pe.positions, pos)
+		}
+		st.pairs[key] = pairs
+	}
+	size = make(map[string]int64, st.cat.NumRelations())
+	for _, rs := range st.cat.Relations() {
+		rel := base.MustRelation(rs.Name())
+		st.baseLen[rs.Name()] = len(rel.Tuples)
+		size[rs.Name()] = int64(len(rel.Tuples))
+		total += int64(len(rel.Tuples))
+		pos := make(map[string][]int, len(rel.Tuples))
+		for i, t := range rel.Tuples {
+			k := t.Key()
+			pos[k] = append(pos[k], i)
+		}
+		st.tupPos[rs.Name()] = pos
+	}
+	return size, total
+}
+
+// Compact collapses the accumulated write history: it freezes the
+// current snapshot into a fresh sealed base and publishes it as the next
+// epoch, with empty overlays, no tombstones and rebuilt bookkeeping.
+// Snapshot-side state (added tuples, tombstone diffs) otherwise grows
+// with total writes, not live size, so a long-lived store under
+// insert/delete churn should compact periodically — the live analogue of
+// an LSM compaction. Pinned pre-compaction snapshots stay fully valid:
+// each snapshot carries the base it overlays. Readers never block;
+// writers are paused for the duration (one pass over the live data).
+func (st *Store) Compact() (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.cur.Load()
+	frozen, err := cur.Freeze()
+	if err != nil {
+		return cur.epoch, err
+	}
+	size, total := st.bootstrap(frozen)
+	next := &Snapshot{st: st, base: frozen, epoch: cur.epoch + 1, size: size, numTuples: total}
+	st.compactions.Add(1)
+	st.cur.Store(next)
+	return next.epoch, nil
+}
+
+// pairKey encodes one (X-value, Y-value) combination of a constraint.
+func pairKey(t value.Tuple, xPos, yPos []int) string {
+	return value.KeyOf(t, xPos) + "\x00" + value.KeyOf(t, yPos)
+}
+
+// Base returns the sealed database the store was built over. It stays
+// valid (and unchanged) across Compact calls, which overlay newer epochs
+// on a freshly frozen base instead.
+func (st *Store) Base() *storage.Database { return st.base }
+
+// Catalog returns the catalog the store conforms to.
+func (st *Store) Catalog() *schema.Catalog { return st.cat }
+
+// Access returns the access schema every write is checked against.
+func (st *Store) Access() *schema.AccessSchema { return st.acc }
+
+// Mode returns the store's violation policy.
+func (st *Store) Mode() Mode { return st.mode }
+
+// Snapshot pins the current epoch: an immutable, fully consistent view
+// safe for any number of concurrent readers, unaffected by later writes.
+func (st *Store) Snapshot() *Snapshot { return st.cur.Load() }
+
+// Epoch returns the current epoch number (0 until the first commit).
+func (st *Store) Epoch() uint64 { return st.cur.Load().epoch }
+
+// Insert applies a single-op insert batch. See Apply.
+func (st *Store) Insert(rel string, t value.Tuple) error {
+	_, err := st.Apply([]Op{Insert(rel, t)})
+	return err
+}
+
+// Delete applies a single-op delete batch. See Apply.
+func (st *Store) Delete(rel string, t value.Tuple) error {
+	_, err := st.Apply([]Op{Delete(rel, t)})
+	return err
+}
+
+// Stats returns a snapshot of the read-side access counters, aggregated
+// over every snapshot of this store (probes served from the base index
+// and from overlays count alike).
+func (st *Store) Stats() storage.Stats {
+	return storage.Stats{
+		IndexLookups:  st.lookups.Load(),
+		TuplesFetched: st.fetched.Load(),
+		TuplesScanned: st.scanned.Load(),
+	}
+}
+
+// ResetStats zeroes the read-side counters.
+func (st *Store) ResetStats() {
+	st.lookups.Store(0)
+	st.fetched.Store(0)
+	st.scanned.Store(0)
+}
+
+// IngestStats returns a snapshot of the write-side counters.
+func (st *Store) IngestStats() IngestStats {
+	return IngestStats{
+		Batches:        st.batches.Load(),
+		OpsApplied:     st.applied.Load(),
+		OpsRejected:    st.rejected.Load(),
+		OpsQuarantined: st.quarantined.Load(),
+		Epochs:         st.Epoch(),
+		Flattens:       st.flattens.Load(),
+		Compactions:    st.compactions.Load(),
+	}
+}
+
+// Quarantine returns a copy of the ops a Permissive store has refused so
+// far, in arrival order.
+func (st *Store) Quarantine() []Quarantined {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Quarantined, len(st.quarantine))
+	copy(out, st.quarantine)
+	return out
+}
+
+// Apply validates and commits one batch of writes, returning the epoch
+// the batch published (or the current epoch when nothing changed). The
+// batch is checked op by op against the access schema over the state the
+// previous ops of the same batch produced:
+//
+//   - Strict mode: the first bound violation or missing delete target
+//     aborts the whole batch — no state changes, and the error identifies
+//     the op (errors.Is ErrBound / ErrNoSuchTuple).
+//   - Permissive mode: such ops are quarantined and the rest commit.
+//
+// Structural errors — unknown relation, arity mismatch — always abort the
+// batch in either mode: they are caller bugs, not data properties.
+//
+// A committed batch is atomic: readers either see the whole batch (by
+// pinning a snapshot at or after the returned epoch) or none of it.
+func (st *Store) Apply(ops []Op) (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.batches.Add(1)
+
+	snap := st.cur.Load()
+	tx := newTxn(st, snap)
+	for _, op := range ops {
+		var err error
+		switch op.Kind {
+		case OpInsert:
+			err = tx.insert(op)
+		case OpDelete:
+			err = tx.delete(op)
+		default:
+			return snap.epoch, fmt.Errorf("live: unknown op kind %d", op.Kind)
+		}
+		if err == nil {
+			continue
+		}
+		violation := errors.Is(err, ErrBound) || errors.Is(err, ErrNoSuchTuple)
+		if !violation {
+			return snap.epoch, err
+		}
+		if st.mode == Strict {
+			st.rejected.Add(1)
+			return snap.epoch, err
+		}
+		tx.quarantined = append(tx.quarantined, Quarantined{Op: op, Err: err})
+	}
+	return st.commit(tx), nil
+}

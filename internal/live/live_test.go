@@ -1,0 +1,549 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bcq/internal/core"
+	"bcq/internal/exec"
+	"bcq/internal/plan"
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+func socialCatalog() *schema.Catalog {
+	return schema.MustCatalog(
+		schema.MustRelation("in_album", "photo_id", "album_id"),
+		schema.MustRelation("friends", "user_id", "friend_id"),
+		schema.MustRelation("tagging", "photo_id", "tagger_id", "taggee_id"),
+	)
+}
+
+func accessA0() *schema.AccessSchema {
+	return schema.MustAccessSchema(
+		schema.MustAccessConstraint("in_album", []string{"album_id"}, []string{"photo_id"}, 3),
+		schema.MustAccessConstraint("friends", []string{"user_id"}, []string{"friend_id"}, 5000),
+		schema.MustAccessConstraint("tagging", []string{"photo_id", "taggee_id"}, []string{"tagger_id"}, 1),
+	)
+}
+
+func strs(vals ...string) value.Tuple {
+	tu := make(value.Tuple, len(vals))
+	for i, v := range vals {
+		tu[i] = value.Str(v)
+	}
+	return tu
+}
+
+// loadSocial is the hand-checkable Example 1 scenario of the exec tests,
+// with the in_album bound tightened to 3 so bound rejections are easy to
+// provoke (album a0 is full: p1, p2, p4).
+func loadSocial(t testing.TB) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase(socialCatalog())
+	ins := func(rel string, vals ...string) {
+		t.Helper()
+		if err := db.Insert(rel, strs(vals...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("in_album", "p1", "a0")
+	ins("in_album", "p2", "a0")
+	ins("in_album", "p4", "a0")
+	ins("in_album", "p3", "a1")
+	ins("friends", "u0", "f1")
+	ins("friends", "u0", "f2")
+	ins("friends", "u1", "f9")
+	ins("tagging", "p1", "f1", "u0")
+	ins("tagging", "p2", "s9", "u0")
+	ins("tagging", "p4", "f2", "u0")
+	ins("tagging", "p3", "f1", "u0")
+	return db
+}
+
+func liveSocial(t testing.TB, opts Options) *Store {
+	t.Helper()
+	st, err := New(loadSocial(t), accessA0(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func inAlbumAC() schema.AccessConstraint {
+	return schema.MustAccessConstraint("in_album", []string{"album_id"}, []string{"photo_id"}, 3)
+}
+
+func ys(entries []storage.IndexEntry) []string {
+	var out []string
+	for _, e := range entries {
+		out = append(out, e.Y.String())
+	}
+	return out
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	st := liveSocial(t, Options{})
+	s0 := st.Snapshot()
+	if s0.Epoch() != 0 {
+		t.Fatalf("fresh store at epoch %d, want 0", s0.Epoch())
+	}
+
+	if err := st.Insert("in_album", strs("p9", "a1")); err != nil {
+		t.Fatal(err)
+	}
+	s1 := st.Snapshot()
+	if s1.Epoch() != 1 {
+		t.Fatalf("after one insert at epoch %d, want 1", s1.Epoch())
+	}
+
+	e0, err := s0.Fetch(inAlbumAC(), strs("a1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := s1.Fetch(inAlbumAC(), strs("a1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e0) != 1 || len(e1) != 2 {
+		t.Fatalf("a1 group sizes: pinned %d (want 1), current %d (want 2)", len(e0), len(e1))
+	}
+	if s0.NumTuples() != 11 || s1.NumTuples() != 12 {
+		t.Errorf("|D|: pinned %d (want 11), current %d (want 12)", s0.NumTuples(), s1.NumTuples())
+	}
+}
+
+func TestStrictBoundRejectionIsAtomic(t *testing.T) {
+	st := liveSocial(t, Options{})
+	before := st.Snapshot()
+	// Second op would give album a0 a 4th distinct photo (bound 3).
+	_, err := st.Apply([]Op{
+		Insert("friends", strs("u0", "f3")),
+		Insert("in_album", strs("p9", "a0")),
+	})
+	if err == nil {
+		t.Fatal("over-bound batch accepted")
+	}
+	if !errors.Is(err, ErrBound) {
+		t.Fatalf("error %v does not match ErrBound", err)
+	}
+	var be *BoundError
+	if !errors.As(err, &be) || be.AC.Rel != "in_album" {
+		t.Fatalf("error %v does not carry the violated constraint", err)
+	}
+	after := st.Snapshot()
+	if after != before {
+		t.Error("rejected batch published a new snapshot")
+	}
+	if n, _ := after.Size("friends"); n != 3 {
+		t.Errorf("rejected batch leaked a friends insert (size %d)", n)
+	}
+	// The pair bookkeeping must be untouched too: a later delete of the
+	// never-committed tuple must report it missing.
+	if err := st.Delete("friends", strs("u0", "f3")); !errors.Is(err, ErrNoSuchTuple) {
+		t.Errorf("rejected batch leaked pair state: delete of uncommitted tuple gave %v", err)
+	}
+}
+
+func TestPermissiveQuarantine(t *testing.T) {
+	st := liveSocial(t, Options{Mode: Permissive})
+	epoch, err := st.Apply([]Op{
+		Insert("friends", strs("u0", "f3")),
+		Insert("in_album", strs("p9", "a0")),    // over bound → quarantined
+		Delete("friends", strs("nobody", "f0")), // missing → quarantined
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch %d, want 1", epoch)
+	}
+	if n, _ := st.Snapshot().Size("friends"); n != 4 {
+		t.Errorf("valid op not applied (friends size %d, want 4)", n)
+	}
+	q := st.Quarantine()
+	if len(q) != 2 {
+		t.Fatalf("quarantined %d ops, want 2", len(q))
+	}
+	if !errors.Is(q[0].Err, ErrBound) || !errors.Is(q[1].Err, ErrNoSuchTuple) {
+		t.Errorf("quarantine reasons wrong: %v, %v", q[0].Err, q[1].Err)
+	}
+	ig := st.IngestStats()
+	if ig.OpsApplied != 1 || ig.OpsQuarantined != 2 {
+		t.Errorf("ingest stats %+v", ig)
+	}
+	for _, qe := range q {
+		if qe.Epoch != 1 {
+			t.Errorf("quarantined op stamped with epoch %d, want the batch's published epoch 1", qe.Epoch)
+		}
+	}
+
+	// A batch whose every op is quarantined publishes nothing; its
+	// quarantined ops carry the unchanged current epoch.
+	epoch, err = st.Apply([]Op{Insert("in_album", strs("p8", "a0"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Errorf("all-quarantined batch returned epoch %d, want unchanged 1", epoch)
+	}
+	q = st.Quarantine()
+	if last := q[len(q)-1]; last.Epoch != 1 {
+		t.Errorf("quarantined op of a no-op batch stamped with epoch %d, want current 1", last.Epoch)
+	}
+}
+
+// TestChurnDoesNotGrowBookkeeping cycles insert/delete of the same tuple
+// and checks the writer-side position lists are pruned rather than
+// accumulating dead entries (which would degrade deletes and leak).
+func TestChurnDoesNotGrowBookkeeping(t *testing.T) {
+	st := liveSocial(t, Options{})
+	for i := 0; i < 200; i++ {
+		if err := st.Insert("friends", strs("u7", "f7")); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Delete("friends", strs("u7", "f7")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.mu.Lock()
+	positions := st.tupPos["friends"][strs("u7", "f7").Key()]
+	st.mu.Unlock()
+	if len(positions) != 0 {
+		t.Errorf("tuple position list holds %d dead entries after churn, want 0", len(positions))
+	}
+	if n, _ := st.Snapshot().Size("friends"); n != 3 {
+		t.Errorf("friends size %d after balanced churn, want 3", n)
+	}
+	// The group must be clean too: u7 has no live friends.
+	fr := schema.MustAccessConstraint("friends", []string{"user_id"}, []string{"friend_id"}, 5000)
+	entries, err := st.Snapshot().Fetch(fr, strs("u7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("u7 group has %d entries after balanced churn, want 0", len(entries))
+	}
+}
+
+func TestStructuralErrorsAbortInBothModes(t *testing.T) {
+	for _, mode := range []Mode{Strict, Permissive} {
+		st := liveSocial(t, Options{Mode: mode})
+		if _, err := st.Apply([]Op{Insert("nope", strs("x"))}); err == nil {
+			t.Errorf("%v: unknown relation accepted", mode)
+		}
+		if _, err := st.Apply([]Op{Insert("friends", strs("onlyone"))}); err == nil {
+			t.Errorf("%v: arity mismatch accepted", mode)
+		}
+		if len(st.Quarantine()) != 0 {
+			t.Errorf("%v: structural error quarantined", mode)
+		}
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	st := liveSocial(t, Options{})
+	if err := st.Delete("in_album", strs("p2", "a0")); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Snapshot()
+	entries, err := s.Fetch(inAlbumAC(), strs("a0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(ys(entries)); got != "[('p1') ('p4')]" {
+		t.Errorf("a0 group after delete = %v", got)
+	}
+	// Deleting again must fail: only one occurrence existed.
+	if err := st.Delete("in_album", strs("p2", "a0")); !errors.Is(err, ErrNoSuchTuple) {
+		t.Errorf("double delete error = %v, want ErrNoSuchTuple", err)
+	}
+	// Re-inserting is fine and restores the group (at the end).
+	if err := st.Insert("in_album", strs("p2", "a0")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = st.Snapshot().Fetch(inAlbumAC(), strs("a0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(ys(entries)); got != "[('p1') ('p4') ('p2')]" {
+		t.Errorf("a0 group after re-insert = %v", got)
+	}
+}
+
+func TestDuplicateInsertNeverViolates(t *testing.T) {
+	st := liveSocial(t, Options{})
+	// Album a0 is at its bound (3 distinct photos), but duplicates of a
+	// live pair add no distinct Y-value.
+	for i := 0; i < 10; i++ {
+		if err := st.Insert("in_album", strs("p1", "a0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := st.Snapshot()
+	entries, err := s.Fetch(inAlbumAC(), strs("a0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("a0 group size %d after duplicate inserts, want 3", len(entries))
+	}
+	if n, _ := s.Size("in_album"); n != 14 {
+		t.Errorf("in_album size %d, want 14", n)
+	}
+}
+
+func TestWitnessDeleteRewitnesses(t *testing.T) {
+	st := liveSocial(t, Options{})
+	// Two occurrences of the (a1, p3) pair with different... in_album has
+	// only two attributes, so occurrences are exact duplicates; the
+	// re-witness must move Pos to the surviving occurrence.
+	if err := st.Insert("in_album", strs("p3", "a1")); err != nil {
+		t.Fatal(err)
+	}
+	s1 := st.Snapshot()
+	e1, _ := s1.Fetch(inAlbumAC(), strs("a1"))
+	if len(e1) != 1 {
+		t.Fatalf("a1 group size %d, want 1", len(e1))
+	}
+	origPos := e1[0].Pos
+
+	if err := st.Delete("in_album", strs("p3", "a1")); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := st.Snapshot().Fetch(inAlbumAC(), strs("a1"))
+	if len(e2) != 1 {
+		t.Fatalf("a1 group size after witness delete %d, want 1", len(e2))
+	}
+	if e2[0].Pos == origPos {
+		t.Errorf("witness position %d not re-pointed after its tuple was deleted", e2[0].Pos)
+	}
+	if !e2[0].Witness.Equal(strs("p3", "a1")) {
+		t.Errorf("re-witnessed tuple %v", e2[0].Witness)
+	}
+	// The pinned earlier snapshot still sees the original witness.
+	e1again, _ := s1.Fetch(inAlbumAC(), strs("a1"))
+	if e1again[0].Pos != origPos {
+		t.Error("pinned snapshot's witness changed under a later delete")
+	}
+}
+
+func TestChainFlattening(t *testing.T) {
+	st := liveSocial(t, Options{})
+	for i := 0; i < 3*maxChainDepth; i++ {
+		if err := st.Insert("friends", strs("u2", fmt.Sprintf("f%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := st.Snapshot()
+	if s.depth > maxChainDepth {
+		t.Errorf("chain depth %d exceeds maxChainDepth %d", s.depth, maxChainDepth)
+	}
+	if st.IngestStats().Flattens == 0 {
+		t.Error("no flatten after 3×maxChainDepth commits")
+	}
+	fr := schema.MustAccessConstraint("friends", []string{"user_id"}, []string{"friend_id"}, 5000)
+	entries, err := s.Fetch(fr, strs("u2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3*maxChainDepth {
+		t.Errorf("u2 group size %d after flattened history, want %d", len(entries), 3*maxChainDepth)
+	}
+	// Groups untouched since the base must still resolve through it.
+	e0, _ := s.Fetch(fr, strs("u0"))
+	if len(e0) != 2 {
+		t.Errorf("u0 base group size %d, want 2", len(e0))
+	}
+}
+
+func TestNonEmptyTransitions(t *testing.T) {
+	cat := schema.MustCatalog(schema.MustRelation("r", "a", "b"))
+	acc := schema.MustAccessSchema(
+		schema.MustAccessConstraint("r", []string{"a"}, []string{"b"}, 10))
+	st, err := New(storage.NewDatabase(cat), acc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := st.Snapshot().NonEmpty("r"); ok {
+		t.Error("empty relation reported non-empty")
+	}
+	if err := st.Insert("r", strs("x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := st.Snapshot().NonEmpty("r"); !ok {
+		t.Error("relation with one live tuple reported empty")
+	}
+	if err := st.Delete("r", strs("x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := st.Snapshot().NonEmpty("r"); ok {
+		t.Error("fully-deleted relation reported non-empty")
+	}
+	if _, err := st.Snapshot().NonEmpty("nope"); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+// TestCompactCollapsesHistory churns the store, compacts, and checks:
+// the published epoch continues, the new snapshot has no overlay state,
+// pinned pre-compaction snapshots stay valid, reads are unchanged, and
+// writes keep working on the compacted base.
+func TestCompactCollapsesHistory(t *testing.T) {
+	st := liveSocial(t, Options{})
+	for i := 0; i < 50; i++ {
+		if err := st.Insert("friends", strs("u5", fmt.Sprintf("f%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := st.Delete("friends", strs("u5", fmt.Sprintf("f%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := schema.MustAccessConstraint("friends", []string{"user_id"}, []string{"friend_id"}, 5000)
+	pinned := st.Snapshot()
+	pinnedEntries, err := pinned.Fetch(fr, strs("u5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	epoch, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != pinned.epoch+1 {
+		t.Errorf("compact published epoch %d, want %d", epoch, pinned.epoch+1)
+	}
+	cur := st.Snapshot()
+	if len(cur.added) != 0 || len(cur.delDiff) != 0 || cur.parent != nil || cur.depth != 0 {
+		t.Errorf("compacted snapshot retains history: %d added rels, %d tombstone rels, depth %d",
+			len(cur.added), len(cur.delDiff), cur.depth)
+	}
+	if cur.base == pinned.base {
+		t.Error("compacted snapshot still overlays the old base")
+	}
+	if cur.NumTuples() != pinned.NumTuples() {
+		t.Errorf("|D| changed across compact: %d → %d", pinned.NumTuples(), cur.NumTuples())
+	}
+	curEntries, err := cur.Fetch(fr, strs("u5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ys(curEntries)) != fmt.Sprint(ys(pinnedEntries)) {
+		t.Errorf("u5 group changed across compact: %v → %v", ys(pinnedEntries), ys(curEntries))
+	}
+	// The pinned snapshot still reads through its own (old) base.
+	again, err := pinned.Fetch(fr, strs("u5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ys(again)) != fmt.Sprint(ys(pinnedEntries)) {
+		t.Error("pinned pre-compaction snapshot changed")
+	}
+
+	// Writes continue on the compacted base, and stay Freeze-equivalent.
+	if err := st.Delete("friends", strs("u5", "f49")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("friends", strs("u5", "f99")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := st.Snapshot().Fetch(fr, strs("u5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"('f40')", "('f41')", "('f42')", "('f43')", "('f44')", "('f45')", "('f46')", "('f47')", "('f48')", "('f99')"}
+	if fmt.Sprint(ys(after)) != fmt.Sprint(want) {
+		t.Errorf("u5 group after post-compact writes = %v, want %v", ys(after), want)
+	}
+	if st.IngestStats().Compactions != 1 {
+		t.Errorf("compactions counter = %d, want 1", st.IngestStats().Compactions)
+	}
+}
+
+const q0src = `
+	query Q0:
+	select t1.photo_id
+	from in_album as t1, friends as t2, tagging as t3
+	where t1.album_id = 'a0' and t2.user_id = 'u0'
+	  and t1.photo_id = t3.photo_id
+	  and t3.tagger_id = t2.friend_id and t3.taggee_id = t2.user_id
+`
+
+func q0Plan(t testing.TB) *plan.Plan {
+	t.Helper()
+	cat, acc := socialCatalog(), accessA0()
+	q, err := spc.Parse(q0src, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.NewAnalysis(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.QPlan(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func renderResult(r *exec.Result) string {
+	return fmt.Sprintf("cols=%v tuples=%v stats=%+v dq=%d", r.Cols, r.Tuples, r.Stats, r.DQSize)
+}
+
+// TestSnapshotMatchesFreeze drives a mixed op history and checks, at
+// every epoch, that bounded evaluation against the live snapshot is
+// byte-identical — answers, access stats, |D_Q| — to evaluation against
+// a sealed database rebuilt from scratch over the snapshot's contents.
+// This is the incremental-maintenance correctness contract.
+func TestSnapshotMatchesFreeze(t *testing.T) {
+	st := liveSocial(t, Options{})
+	pl := q0Plan(t)
+
+	histories := [][]Op{
+		{Insert("in_album", strs("p9", "a1"))}, // unrelated insert
+		{Insert("friends", strs("u0", "f7")), Delete("tagging", strs("p2", "s9", "u0")), Insert("tagging", strs("p2", "f7", "u0"))}, // retag p2 by a friend → new answer
+		{Delete("tagging", strs("p1", "f1", "u0"))},                                  // answer p1 disappears
+		{Delete("in_album", strs("p2", "a0")), Insert("in_album", strs("p2", "a0"))}, // churn an answer
+		{Insert("friends", strs("u0", "f1")), Delete("friends", strs("u0", "f1"))},   // dup then delete (re-witness)
+		{Delete("friends", strs("u0", "f2"))},                                        // answer p4 disappears
+	}
+	check := func(tag string) {
+		t.Helper()
+		snap := st.Snapshot()
+		live, err := exec.Run(pl, snap)
+		if err != nil {
+			t.Fatalf("%s: live run: %v", tag, err)
+		}
+		frozen, err := snap.Freeze()
+		if err != nil {
+			t.Fatalf("%s: freeze: %v", tag, err)
+		}
+		ref, err := exec.Run(pl, frozen)
+		if err != nil {
+			t.Fatalf("%s: frozen run: %v", tag, err)
+		}
+		if got, want := renderResult(live), renderResult(ref); got != want {
+			t.Errorf("%s: live result diverges from freshly built database\n live:   %s\n frozen: %s", tag, got, want)
+		}
+	}
+	check("epoch 0")
+	for i, ops := range histories {
+		if _, err := st.Apply(ops); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		check(fmt.Sprintf("epoch %d", i+1))
+		if i == 2 {
+			// Compacting mid-history must not change anything observable.
+			if _, err := st.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			check("post-compact")
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package live
+
+import (
+	"fmt"
+
+	"bcq/internal/schema"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// Snapshot is one pinned epoch of a live store: an immutable, fully
+// consistent view of the data. It satisfies the executor's Store
+// interface, so bounded evaluation runs against a snapshot exactly as it
+// runs against a sealed database — readers pin one snapshot per
+// evaluation and are unaffected by concurrent commits.
+//
+// Access-index reads resolve through a short chain of epoch diffs
+// (youngest first) and fall through to the base index; the chain is
+// flattened periodically, so the walk is O(1) amortized. Row reads merge
+// the base tuples with the epoch's additions minus its tombstones.
+type Snapshot struct {
+	st *Store
+	// base is the sealed database this epoch's diffs overlay. Usually the
+	// store's original base; after a Compact, newer epochs overlay the
+	// compacted one while pinned older snapshots keep theirs.
+	base  *storage.Database
+	epoch uint64
+
+	// parent chains towards older epochs; nil at the root or right after
+	// a flatten. depth is the chain length below this snapshot.
+	parent *Snapshot
+	depth  int
+	// groups is this epoch's access-index diff: acKey → xKey → the full
+	// entry group as of this epoch. Only groups rewritten by this epoch's
+	// batch (or, after a flatten, by any batch) appear.
+	groups map[string]map[string][]storage.IndexEntry
+	// delDiff is this epoch's tombstone diff: the positions its batch
+	// deleted (all positions ever, after a flatten). Like groups it is
+	// resolved by walking the chain, so committing a small delete batch
+	// costs the batch, not the accumulated delete history.
+	delDiff map[string]map[int]bool
+
+	// added and size are cumulative views (not diffs): all live
+	// insertions per relation (slices share backing across epochs; each
+	// epoch reads only its own prefix) and the live tuple count per
+	// relation.
+	added map[string][]value.Tuple
+	size  map[string]int64
+
+	numTuples int64
+}
+
+// isDeleted reports whether a position is tombstoned at this epoch.
+func (s *Snapshot) isDeleted(rel string, pos int) bool {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.delDiff[rel][pos] {
+			return true
+		}
+	}
+	return false
+}
+
+// deadSet materializes the tombstoned positions of one relation at this
+// epoch (nil when there are none), for scan paths that visit every
+// position and would otherwise walk the chain per tuple.
+func (s *Snapshot) deadSet(rel string) map[int]bool {
+	var out map[int]bool
+	for cur := s; cur != nil; cur = cur.parent {
+		for p := range cur.delDiff[rel] {
+			if out == nil {
+				out = make(map[int]bool)
+			}
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// Epoch returns the snapshot's epoch number (0 = the pristine base).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Store returns the live store the snapshot was pinned from.
+func (s *Snapshot) Store() *Store { return s.st }
+
+// NumTuples returns |D| at this epoch: live tuples across all relations.
+func (s *Snapshot) NumTuples() int64 { return s.numTuples }
+
+// Size returns the live tuple count of one relation.
+func (s *Snapshot) Size(rel string) (int64, error) {
+	n, ok := s.size[rel]
+	if !ok {
+		return 0, fmt.Errorf("live: unknown relation %s", rel)
+	}
+	return n, nil
+}
+
+// lookupGroup resolves one X-group at this epoch: the youngest diff that
+// rewrote the group wins, otherwise the sealed base index serves it.
+func (s *Snapshot) lookupGroup(acKey, xk string) []storage.IndexEntry {
+	for cur := s; cur != nil; cur = cur.parent {
+		if m := cur.groups[acKey]; m != nil {
+			if g, ok := m[xk]; ok {
+				return g
+			}
+		}
+	}
+	b, ok := s.st.byKey[acKey]
+	if !ok {
+		return nil
+	}
+	if idx, ok := s.base.AccessIndexFor(b.ac); ok {
+		return idx.Entries(xk)
+	}
+	return nil
+}
+
+// Fetch probes the access index of a constraint with an X-value at this
+// epoch, returning the distinct Y-entries (at most N). Counts one index
+// lookup and one fetched tuple per entry into the store's read counters.
+// Callers must not mutate the returned slice.
+func (s *Snapshot) Fetch(ac schema.AccessConstraint, xVals value.Tuple) ([]storage.IndexEntry, error) {
+	key := ac.Key()
+	if _, ok := s.st.byKey[key]; !ok {
+		return nil, fmt.Errorf("live: no index maintained for constraint %s", ac)
+	}
+	if len(xVals) != len(ac.X) {
+		return nil, fmt.Errorf("live: constraint %s expects %d lookup values, got %d", ac, len(ac.X), len(xVals))
+	}
+	entries := s.lookupGroup(key, xVals.Key())
+	s.st.lookups.Add(1)
+	s.st.fetched.Add(int64(len(entries)))
+	return entries, nil
+}
+
+// FetchBatch probes the access index once per X-tuple, returning entry
+// groups aligned with xs — the executor's unit of work (exec.Store).
+// Counts one index lookup per probe and one fetched tuple per entry.
+// Callers must not mutate the returned entry slices.
+func (s *Snapshot) FetchBatch(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error) {
+	key := ac.Key()
+	if _, ok := s.st.byKey[key]; !ok {
+		return nil, fmt.Errorf("live: no index maintained for constraint %s", ac)
+	}
+	out := make([][]storage.IndexEntry, len(xs))
+	var fetched int64
+	for i, x := range xs {
+		if len(x) != len(ac.X) {
+			return nil, fmt.Errorf("live: constraint %s expects %d lookup values, got %d", ac, len(ac.X), len(x))
+		}
+		g := s.lookupGroup(key, x.Key())
+		out[i] = g
+		fetched += int64(len(g))
+	}
+	s.st.lookups.Add(int64(len(xs)))
+	s.st.fetched.Add(fetched)
+	return out, nil
+}
+
+// NonEmpty reports whether a relation has at least one live tuple at this
+// epoch (exec.Store). O(1); counts one fetched tuple when non-empty.
+func (s *Snapshot) NonEmpty(rel string) (bool, error) {
+	n, err := s.Size(rel)
+	if err != nil {
+		return false, err
+	}
+	if n == 0 {
+		return false, nil
+	}
+	s.st.fetched.Add(1)
+	return true, nil
+}
+
+// each iterates the live tuples of a relation in live order — base
+// positions ascending, then insertions in commit order — without access
+// accounting. The callback returning false stops the iteration.
+func (s *Snapshot) each(rel string, f func(pos int, t value.Tuple) bool) error {
+	r, err := s.base.Relation(rel)
+	if err != nil {
+		return err
+	}
+	dead := s.deadSet(rel)
+	for pos, t := range r.Tuples {
+		if dead[pos] {
+			continue
+		}
+		if !f(pos, t) {
+			return nil
+		}
+	}
+	base := len(r.Tuples)
+	for i, t := range s.added[rel] {
+		if dead[base+i] {
+			continue
+		}
+		if !f(base+i, t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Scan iterates every live tuple of a relation, counting each against
+// the store's scan statistics. Positions are live positions: stable
+// across epochs, unique per occurrence, not contiguous once tuples have
+// been deleted.
+func (s *Snapshot) Scan(rel string, f func(pos int, t value.Tuple) bool) error {
+	return s.each(rel, func(pos int, t value.Tuple) bool {
+		s.st.scanned.Add(1)
+		return f(pos, t)
+	})
+}
+
+// Tuples materializes the live tuples of a relation, in live order,
+// without access accounting.
+func (s *Snapshot) Tuples(rel string) ([]value.Tuple, error) {
+	n, err := s.Size(rel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Tuple, 0, n)
+	err = s.each(rel, func(_ int, t value.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out, err
+}
+
+// Freeze materializes the snapshot as a fresh sealed database: every
+// live tuple inserted in live order, indexes built for the store's
+// access schema. Because the store keeps D |= A invariant, Freeze cannot
+// hit a constraint violation; an error reports a bug. Freeze is how a
+// snapshot leaves the live layer — for offline analysis, for baseline
+// comparison, or as the compacted base of a new live store.
+func (s *Snapshot) Freeze() (*storage.Database, error) {
+	db := storage.NewDatabase(s.st.cat)
+	for _, rs := range s.st.cat.Relations() {
+		var insErr error
+		err := s.each(rs.Name(), func(_ int, t value.Tuple) bool {
+			insErr = db.Insert(rs.Name(), t)
+			return insErr == nil
+		})
+		if err == nil {
+			err = insErr
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := db.BuildIndexes(s.st.acc); err != nil {
+		return nil, fmt.Errorf("live: frozen snapshot violates the access schema (live-store bug): %w", err)
+	}
+	return db, nil
+}

@@ -26,6 +26,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -33,6 +34,26 @@ import (
 	"bcq/internal/schema"
 	"bcq/internal/value"
 )
+
+// ErrSealed is the sentinel matched by errors.Is when an operation is
+// rejected because the database has been sealed by index construction.
+// The concrete error is a *SealedError naming the relation, so callers —
+// the live layer above all — can distinguish "load phase is over" from
+// genuine insert failures (unknown relation, arity mismatch).
+var ErrSealed = errors.New("database is sealed (indexes built)")
+
+// SealedError is the typed form of a sealed-database rejection.
+type SealedError struct {
+	// Rel is the relation the rejected operation targeted.
+	Rel string
+}
+
+func (e *SealedError) Error() string {
+	return fmt.Sprintf("storage: relation %s is sealed (indexes built); load data before BuildIndexes, or mutate through a live store", e.Rel)
+}
+
+// Unwrap makes errors.Is(err, ErrSealed) match.
+func (e *SealedError) Unwrap() error { return ErrSealed }
 
 // Stats is a snapshot of the storage access counters. The experiments
 // reset the counters around each run and report the totals; evalDQ's
@@ -146,12 +167,12 @@ func (db *Database) MustRelation(name string) *Relation {
 // corrupt every subsequent bounded evaluation. Load all data first, then
 // call BuildIndexes.
 func (db *Database) Insert(rel string, t value.Tuple) error {
-	if db.sealed {
-		return fmt.Errorf("storage: relation %s is sealed (indexes built); load data before BuildIndexes", rel)
-	}
 	r, err := db.Relation(rel)
 	if err != nil {
 		return err
+	}
+	if db.sealed {
+		return &SealedError{Rel: rel}
 	}
 	if len(t) != r.Schema.Arity() {
 		return fmt.Errorf("storage: relation %s expects arity %d, got %d", rel, r.Schema.Arity(), len(t))

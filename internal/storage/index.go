@@ -95,6 +95,21 @@ func (e *ViolationError) Error() string {
 // statistic for access-schema discovery.
 func (idx *AccessIndex) MaxGroup() int { return idx.maxGroup }
 
+// Entries returns the distinct-Y entry group under one encoded X-key
+// (value.KeyOf over the constraint's sorted X positions), or nil when the
+// key is absent. Unlike Database.Fetch it performs no access accounting:
+// it exists so layers built on top of a sealed database — the live store's
+// copy-on-write overlays — can read base groups and do their own counting.
+// Callers must not mutate the returned slice.
+func (idx *AccessIndex) Entries(xKey string) []IndexEntry { return idx.m[xKey] }
+
+// AccessIndexFor returns the built index of a constraint, if any. Like
+// AccessIndex.Entries it is an uncounted, layering-oriented accessor.
+func (db *Database) AccessIndexFor(ac schema.AccessConstraint) (*AccessIndex, bool) {
+	idx, ok := db.access[ac.Key()]
+	return idx, ok
+}
+
 // BuildIndexes builds the access index for every constraint of the schema
 // that applies to this database, verifying D |= A in the process, and
 // seals the database against further Inserts (see the package comment's

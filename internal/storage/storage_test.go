@@ -59,6 +59,28 @@ func TestInsertValidation(t *testing.T) {
 	}
 }
 
+func TestInsertSealedTypedError(t *testing.T) {
+	db := smallSocialDB(t)
+	if err := db.BuildIndexes(socialAccess()); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Insert("friends", value.Tuple{value.Str("u9"), value.Str("f9")})
+	if err == nil {
+		t.Fatal("insert into sealed database accepted")
+	}
+	if !errors.Is(err, ErrSealed) {
+		t.Errorf("sealed insert error %v does not match ErrSealed", err)
+	}
+	var se *SealedError
+	if !errors.As(err, &se) || se.Rel != "friends" {
+		t.Errorf("sealed insert error %v does not name the relation", err)
+	}
+	// Non-sealed failures must stay distinguishable.
+	if err := db.Insert("nope", value.Tuple{value.Int(1)}); errors.Is(err, ErrSealed) {
+		t.Error("unknown-relation error matches ErrSealed")
+	}
+}
+
 func TestNumTuples(t *testing.T) {
 	db := smallSocialDB(t)
 	if db.NumTuples() != 9 {
