@@ -46,8 +46,19 @@
 //	ld.Apply([]bcq.LiveOp{bcq.InsertOp("friends", t)})  // atomic batch
 //	res, _ := p.Exec(bcq.Int(74))  // pins the snapshot current now
 //
-// See the examples/ directory (examples/streaming for the live layer) and
-// DESIGN.md for the full system map.
+// To scale past one writer and one machine's worth of contention, shard
+// the store: access constraints double as shard keys, so each relation
+// is hash-partitioned on a constraint's X-attributes, probes
+// scatter-gather to the shards owning their index groups (answers stay
+// byte-identical to a single store), and writes commit shard-parallel:
+//
+//	ss, _ := bcq.NewShardedDatabase(db, acc, bcq.ShardOptions{Shards: 8})
+//	eng, _ := bcq.NewShardedEngine(ss, bcq.EngineOptions{Parallelism: 8})
+//	ss.Apply(batch)               // routed by content, committed shard-parallel
+//	res, _ := p.Exec(bcq.Int(74)) // pins one epoch vector across all shards
+//
+// See the examples/ directory (examples/streaming for the live layer,
+// examples/sharded for scale-out) and DESIGN.md for the full system map.
 package bcq
 
 import (
@@ -58,6 +69,7 @@ import (
 	"bcq/internal/live"
 	"bcq/internal/plan"
 	"bcq/internal/schema"
+	"bcq/internal/shard"
 	"bcq/internal/spc"
 	"bcq/internal/storage"
 	"bcq/internal/value"
@@ -313,6 +325,41 @@ func NewLiveDatabase(db *Database, acc *AccessSchema, opts LiveOptions) (*LiveDa
 // bounded while writes stream in.
 func NewLiveEngine(ld *LiveDatabase, opts EngineOptions) (*Engine, error) {
 	return engine.NewLive(ld, opts)
+}
+
+// Re-exported sharding types.
+type (
+	// ShardedDatabase partitions one database into P shards, each its own
+	// live store: probes route to the shard owning their index group,
+	// writes commit shard-parallel, and scatter-gather execution is
+	// byte-identical to a single store.
+	ShardedDatabase = shard.Store
+	// ShardedView is one atomically pinned epoch vector — an immutable,
+	// consistent cut across every shard that bounded evaluation runs
+	// against (it is a Store).
+	ShardedView = shard.View
+	// ShardOptions tunes a sharded database (partition count, violation
+	// mode).
+	ShardOptions = shard.Options
+)
+
+// NewShardedDatabase partitions a loaded database into opts.Shards
+// shards. Each relation is hash-partitioned on the X-attributes of an
+// anchor access constraint (one whose X every other constraint on the
+// relation contains), which keeps every index group whole on one shard —
+// the property that makes sharded execution exact and per-shard admission
+// checking globally sound. Relations without such an anchor are pinned to
+// one shard; relations without constraints are round-robined.
+func NewShardedDatabase(db *Database, acc *AccessSchema, opts ShardOptions) (*ShardedDatabase, error) {
+	return shard.New(db, acc, opts)
+}
+
+// NewShardedEngine builds a prepared-query engine over a sharded
+// database: every execution pins one consistent epoch vector across all
+// shards and fans its bounded probes out shard by shard, while ingest
+// scales with the shard count.
+func NewShardedEngine(ss *ShardedDatabase, opts EngineOptions) (*Engine, error) {
+	return engine.NewSharded(ss, opts)
 }
 
 // BaselineResult is a full-data evaluation answer.

@@ -8,7 +8,13 @@
 //	bqexp -quick          # reduced scales (CI-friendly)
 //	bqexp -only fig5d     # one experiment: fig5a..fig5l, table1, table2, census
 //	bqexp -csv out/       # additionally dump panel CSVs for plotting
+//	bqexp -json out.json  # additionally dump all results as JSON ("-" = stdout)
 //	bqexp -parallel 8     # fan evalDQ's index probes over 8 workers
+//
+// The -json report carries every panel point and table row in one
+// machine-readable document, so CI can produce benchmark trajectory
+// files (BENCH_*.json) from a bqexp run instead of transcribing the
+// rendered tables by hand.
 package main
 
 import (
@@ -26,6 +32,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scales and budget")
 	only := flag.String("only", "", "run a single experiment: fig5a..fig5l, table1, table2, census")
 	csvDir := flag.String("csv", "", "directory to write panel CSVs into")
+	jsonPath := flag.String("json", "", "file to write all results into as JSON (\"-\" = stdout)")
 	parallel := flag.Int("parallel", 1, "evalDQ probe workers (1 = sequential; answers are identical either way)")
 	flag.Parse()
 
@@ -34,7 +41,7 @@ func main() {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Parallelism = *parallel
-	if err := run(cfg, strings.ToLower(*only), *csvDir); err != nil {
+	if err := run(cfg, strings.ToLower(*only), *csvDir, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "bqexp:", err)
 		os.Exit(1)
 	}
@@ -61,7 +68,8 @@ var panels = []panelSpec{
 	{"fig5l", datagen.TPCH, "varyProd"},
 }
 
-func run(cfg experiments.Config, only, csvDir string) error {
+func run(cfg experiments.Config, only, csvDir, jsonPath string) error {
+	var report experiments.Report
 	runAll := only == ""
 	for _, ps := range panels {
 		if !runAll && only != ps.id {
@@ -87,6 +95,7 @@ func run(cfg experiments.Config, only, csvDir string) error {
 		}
 		panel.ID = strings.TrimPrefix(ps.id, "fig")
 		experiments.RenderPanel(os.Stdout, panel)
+		report.Panels = append(report.Panels, panel)
 		if csvDir != "" {
 			if err := writeCSV(csvDir, ps.id, panel); err != nil {
 				return err
@@ -104,6 +113,7 @@ func run(cfg experiments.Config, only, csvDir string) error {
 			rows = append(rows, row)
 		}
 		experiments.RenderTable1(os.Stdout, rows)
+		report.Table1 = rows
 	}
 
 	if runAll || only == "census" {
@@ -116,6 +126,7 @@ func run(cfg experiments.Config, only, csvDir string) error {
 			rows = append(rows, c)
 		}
 		experiments.RenderCensus(os.Stdout, rows)
+		report.Census = rows
 	}
 
 	if runAll || only == "table2" {
@@ -126,6 +137,22 @@ func run(cfg experiments.Config, only, csvDir string) error {
 			return err
 		}
 		experiments.RenderTable2(os.Stdout, points)
+		report.Table2 = points
+	}
+
+	if jsonPath != "" && !report.Empty() {
+		out := os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.WriteJSON(out, &report); err != nil {
+			return err
+		}
 	}
 	return nil
 }

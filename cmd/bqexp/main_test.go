@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -24,7 +25,7 @@ func TestRunSinglePanelWithCSV(t *testing.T) {
 		t.Skip("builds a dataset and runs a workload panel")
 	}
 	dir := t.TempDir()
-	if err := run(smokeConfig(), "fig5a", dir); err != nil {
+	if err := run(smokeConfig(), "fig5a", dir, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig5a.csv"))
@@ -39,14 +40,40 @@ func TestRunSinglePanelWithCSV(t *testing.T) {
 func TestRunTable2(t *testing.T) {
 	// Table 2 scales synthetic queries without building datasets — cheap
 	// enough to run even with -short.
-	if err := run(smokeConfig(), "table2", ""); err != nil {
+	if err := run(smokeConfig(), "table2", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunUnknownExperimentIsNoop(t *testing.T) {
-	// An unrecognized -only matches no experiment and must not error.
-	if err := run(smokeConfig(), "nope", ""); err != nil {
+func TestRunTable2JSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := run(smokeConfig(), "table2", "", path); err != nil {
 		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+	var report experiments.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(report.Table2) == 0 {
+		t.Error("report carries no table2 points")
+	}
+	if len(report.Panels) != 0 {
+		t.Errorf("-only table2 report carries %d panels", len(report.Panels))
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	// An unrecognized -only matches no experiment and must not error;
+	// with nothing collected, no JSON file may appear either.
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := run(smokeConfig(), "nope", "", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Error("empty report written")
 	}
 }

@@ -9,6 +9,7 @@
 //	bqrun -dataset tfacc -scale 1 -workload       # run the 15-query workload
 //	bqrun -dataset mot -scale 1 -workload -parallel 8
 //	bqrun -dataset social -scale 0.5 -query q0.sql -ingest 100000
+//	bqrun -dataset social -scale 0.5 -query q0.sql -shards 4 -ingest 100000
 //
 // Datasets: social (Example 1), tfacc, mot, tpch. The -parallel flag fans
 // each plan step's index probes over that many workers; answers are
@@ -20,6 +21,13 @@
 // datagen scales |D| with) while the queries keep executing against
 // pinned snapshots, and the run reports ingest throughput plus the
 // before/after tuple-access counts, which stay flat as |D| grows.
+//
+// The -shards P flag partitions the store: each relation is
+// hash-partitioned on the X-attributes of an anchor access constraint (or
+// pinned/round-robined when no anchor exists), queries scatter-gather
+// their probes across the shards — answers are cross-checked against a
+// single-store run — and -ingest streams through the shard-parallel write
+// path. -v adds the per-relation access breakdown and per-shard balance.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"bcq"
@@ -44,12 +53,56 @@ func main() {
 	budget := flag.Int64("budget", 2_000_000, "baseline tuple budget (0 = unlimited)")
 	parallel := flag.Int("parallel", 1, "bounded-executor probe workers (1 = sequential)")
 	ingest := flag.Int("ingest", 0, "live mode: stream N inserts while queries run against pinned snapshots")
+	shards := flag.Int("shards", 1, "partition the store into P shards (1 = single store)")
+	verbose := flag.Bool("v", false, "print per-relation access breakdown and per-shard balance")
 	flag.Parse()
 
-	if err := run(*dataset, *scale, *queryPath, *workload, *budget, *parallel, *ingest); err != nil {
+	if err := run(config{
+		dataset:  *dataset,
+		scale:    *scale,
+		query:    *queryPath,
+		workload: *workload,
+		budget:   *budget,
+		parallel: *parallel,
+		ingest:   *ingest,
+		shards:   *shards,
+		verbose:  *verbose,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bqrun:", err)
 		os.Exit(1)
 	}
+}
+
+// config carries the validated flag set.
+type config struct {
+	dataset  string
+	scale    float64
+	query    string
+	workload bool
+	budget   int64
+	parallel int
+	ingest   int
+	shards   int
+	verbose  bool
+}
+
+// validate rejects flag values whose behavior would otherwise be
+// undefined (a zero-width worker pool, negative ingest, a zero-shard
+// partition).
+func (c config) validate() error {
+	if c.parallel < 1 {
+		return fmt.Errorf("-parallel %d: probe worker count must be ≥ 1 (1 = sequential)", c.parallel)
+	}
+	if c.ingest < 0 {
+		return fmt.Errorf("-ingest %d: insert count must be ≥ 0 (0 = static mode)", c.ingest)
+	}
+	if c.shards < 1 {
+		return fmt.Errorf("-shards %d: shard count must be ≥ 1 (1 = single store)", c.shards)
+	}
+	if c.scale <= 0 {
+		return fmt.Errorf("-scale %g: scale factor must be > 0", c.scale)
+	}
+	return nil
 }
 
 func pickDataset(name string) (*datagen.Dataset, error) {
@@ -67,39 +120,25 @@ func pickDataset(name string) (*datagen.Dataset, error) {
 	}
 }
 
-func run(dataset string, scale float64, queryPath string, workload bool, budget int64, parallel, ingest int) error {
-	ds, err := pickDataset(dataset)
+func run(c config) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	ds, err := pickDataset(c.dataset)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("building %s at scale %g ...\n", ds.Name, scale)
+	fmt.Printf("building %s at scale %g ...\n", ds.Name, c.scale)
 	start := time.Now()
-	db, err := ds.Build(scale)
+	db, err := ds.Build(c.scale)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("built |D| = %d tuples in %v\n\n", db.NumTuples(), time.Since(start).Round(time.Millisecond))
 
-	var (
-		eng *engine.Engine
-		ld  *bcq.LiveDatabase
-	)
-	if ingest > 0 {
-		ld, err = bcq.NewLiveDatabase(db, ds.Access, bcq.LiveOptions{})
-		if err != nil {
-			return err
-		}
-		eng, err = engine.NewLive(ld, engine.Options{Parallelism: parallel})
-	} else {
-		eng, err = engine.New(ds.Catalog, ds.Access, db, engine.Options{Parallelism: parallel})
-	}
-	if err != nil {
-		return err
-	}
-
 	var queries []*bcq.Query
 	switch {
-	case workload:
+	case c.workload:
 		ws, err := querygen.Workload(ds, querygen.Seed)
 		if err != nil {
 			return err
@@ -107,8 +146,8 @@ func run(dataset string, scale float64, queryPath string, workload bool, budget 
 		for _, w := range ws {
 			queries = append(queries, w.Query)
 		}
-	case queryPath != "":
-		src, err := os.ReadFile(queryPath)
+	case c.query != "":
+		src, err := os.ReadFile(c.query)
 		if err != nil {
 			return err
 		}
@@ -121,15 +160,43 @@ func run(dataset string, scale float64, queryPath string, workload bool, budget 
 		return fmt.Errorf("provide -query FILE or -workload")
 	}
 
-	if ingest > 0 {
-		if err := runIngest(eng, ld, queries, ingest); err != nil {
+	if c.shards > 1 {
+		return runSharded(ds, db, queries, c)
+	}
+
+	var (
+		eng *engine.Engine
+		ld  *bcq.LiveDatabase
+	)
+	if c.ingest > 0 {
+		ld, err = bcq.NewLiveDatabase(db, ds.Access, bcq.LiveOptions{})
+		if err != nil {
+			return err
+		}
+		eng, err = engine.NewLive(ld, engine.Options{Parallelism: c.parallel})
+	} else {
+		eng, err = engine.New(ds.Catalog, ds.Access, db, engine.Options{Parallelism: c.parallel})
+	}
+	if err != nil {
+		return err
+	}
+
+	if c.ingest > 0 {
+		if err := runIngest(eng, ld, queries, c.ingest); err != nil {
 			return err
 		}
 	} else {
 		for _, q := range queries {
-			if err := runOne(ds, eng, q, budget); err != nil {
+			if err := runOne(ds, eng, q, c.budget); err != nil {
 				return err
 			}
+		}
+	}
+	if c.verbose {
+		if ld != nil {
+			printRelStats(ld.RelStats())
+		} else {
+			printRelStats(eng.Database().RelStats())
 		}
 	}
 	st := eng.Stats()
@@ -138,15 +205,186 @@ func run(dataset string, scale float64, queryPath string, workload bool, budget 
 	return nil
 }
 
+// runSharded drives shard mode: the dataset is partitioned into c.shards
+// shards, every query is answered through scatter-gather execution and
+// cross-checked against a single-store engine over the same data, and
+// with -ingest the duplicate stream commits through the shard-parallel
+// write path while readers keep executing on pinned epoch vectors.
+func runSharded(ds *datagen.Dataset, db *bcq.Database, queries []*bcq.Query, c config) error {
+	ss, err := bcq.NewShardedDatabase(db, ds.Access, bcq.ShardOptions{Shards: c.shards})
+	if err != nil {
+		return err
+	}
+	eng, err := bcq.NewShardedEngine(ss, bcq.EngineOptions{Parallelism: c.parallel})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sharded: P = %d\n", c.shards)
+	for _, rs := range ds.Catalog.Relations() {
+		pl, err := ss.PlacementOf(rs.Name())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s %s\n", rs.Name(), pl)
+	}
+	printShardSizes(ss.ShardSizes())
+	fmt.Println()
+
+	if c.ingest > 0 {
+		if err := runShardedIngest(eng, ss, queries, c.ingest); err != nil {
+			return err
+		}
+	} else {
+		// Static mode: cross-check every answer against a single store.
+		ref, err := engine.New(ds.Catalog, ds.Access, db, engine.Options{Parallelism: c.parallel})
+		if err != nil {
+			return err
+		}
+		for _, q := range queries {
+			prep, err := eng.PrepareQuery(q)
+			if err != nil {
+				var nebErr *plan.NotEffectivelyBoundedError
+				if errors.As(err, &nebErr) {
+					fmt.Printf("== %s: not effectively bounded; skipped in shard mode\n\n", q.Name)
+					continue
+				}
+				return err
+			}
+			if prep.NumParams() > 0 {
+				return fmt.Errorf("query %s has %d unbound placeholders; bqrun runs fully instantiated queries", q.Name, prep.NumParams())
+			}
+			start := time.Now()
+			res, err := prep.Exec()
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			fmt.Printf("== %s\n   sharded:  %5d answers in %8v — fetched %d tuples (|D_Q| = %d, bound %s)\n",
+				q.Name, len(res.Tuples), elapsed.Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, prep.FetchBound())
+			rprep, err := ref.PrepareQuery(q)
+			if err != nil {
+				return err
+			}
+			want, err := rprep.Exec()
+			if err != nil {
+				return err
+			}
+			if renderResult(res) != renderResult(want) {
+				return fmt.Errorf("SHARDED MISMATCH on %s:\n sharded: %s\n single:  %s", q.Name, renderResult(res), renderResult(want))
+			}
+			fmt.Printf("   matches single-store execution byte-for-byte ✓\n\n")
+		}
+	}
+
+	if c.verbose {
+		printRelStats(ss.RelStats())
+		printShardStats(ss.ShardStats())
+	}
+	st := eng.Stats()
+	fmt.Printf("engine: %d prepares (%d planned, %d cache hits), %d executions\n",
+		st.Prepares, st.CacheMisses, st.CacheHits, st.Execs)
+	return nil
+}
+
+// renderResult canonicalizes a result for byte-identity comparison.
+func renderResult(r *bcq.Result) string {
+	return fmt.Sprintf("cols=%v tuples=%v stats=%+v dq=%d", r.Cols, r.Tuples, r.Stats, r.DQSize)
+}
+
+// runShardedIngest is live mode over the sharded store: the shared
+// driver streams duplicates through Apply (committing shard-parallel)
+// while readers pin epoch vectors.
+func runShardedIngest(eng *engine.Engine, ss *bcq.ShardedDatabase, queries []*bcq.Query, n int) error {
+	return driveIngest(eng, ingestTarget{
+		base:  ss.Base(),
+		apply: ss.Apply,
+		describe: func() string {
+			return fmt.Sprintf("|D| = %d across %d shards", ss.NumTuples(), ss.NumShards())
+		},
+		report: func(elapsed time.Duration, served int) {
+			ig := ss.IngestStats()
+			fmt.Printf("      ingested in %v (%.0f ops/s, %d shard epochs, %d flattens); served %d evaluations concurrently\n",
+				elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), ig.Epochs, ig.Flattens, served)
+			fmt.Printf("      |D| now %d\n", ss.NumTuples())
+			printShardSizes(ss.ShardSizes())
+		},
+	}, queries, n)
+}
+
+// printRelStats renders the per-relation access breakdown (-v).
+func printRelStats(rel map[string]bcq.Stats) {
+	names := make([]string, 0, len(rel))
+	for name := range rel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("per-relation access breakdown:")
+	fmt.Printf("  %-16s %12s %12s %12s\n", "relation", "lookups", "fetched", "scanned")
+	for _, name := range names {
+		s := rel[name]
+		fmt.Printf("  %-16s %12d %12d %12d\n", name, s.IndexLookups, s.TuplesFetched, s.TuplesScanned)
+	}
+	fmt.Println()
+}
+
+// printShardSizes renders per-shard live tuple counts (-shards).
+func printShardSizes(sizes []int64) {
+	fmt.Printf("  shard balance (tuples):")
+	for s, n := range sizes {
+		fmt.Printf(" [%d] %d", s, n)
+	}
+	fmt.Println()
+}
+
+// printShardStats renders per-shard access counters (-shards -v).
+func printShardStats(stats []bcq.Stats) {
+	fmt.Println("per-shard access breakdown:")
+	fmt.Printf("  %-6s %12s %12s %12s\n", "shard", "lookups", "fetched", "scanned")
+	for s, st := range stats {
+		fmt.Printf("  %-6d %12d %12d %12d\n", s, st.IndexLookups, st.TuplesFetched, st.TuplesScanned)
+	}
+	fmt.Println()
+}
+
 // ingestBatch is the write-batch size of live mode: one epoch per batch.
 const ingestBatch = 64
 
-// runIngest drives live mode: it measures each query's answers and tuple
-// accesses on the pre-ingest snapshot, streams n inserts (duplicates of
-// base tuples — schema-safe by construction) while a reader goroutine
-// keeps executing the queries against pinned snapshots, then re-measures.
-// Bounded queries fetch the same number of tuples at the grown |D|.
+// runIngest is live mode over the single live store.
 func runIngest(eng *engine.Engine, ld *bcq.LiveDatabase, queries []*bcq.Query, n int) error {
+	return driveIngest(eng, ingestTarget{
+		base:  ld.Base(),
+		apply: func(ops []bcq.LiveOp) error { _, err := ld.Apply(ops); return err },
+		describe: func() string {
+			return fmt.Sprintf("|D| = %d", ld.Snapshot().NumTuples())
+		},
+		report: func(elapsed time.Duration, served int) {
+			ig := ld.IngestStats()
+			fmt.Printf("      ingested in %v (%.0f ops/s, %d epochs, %d flattens); served %d evaluations concurrently\n",
+				elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), ig.Epochs, ig.Flattens, served)
+			fmt.Printf("      |D| now %d\n", ld.Snapshot().NumTuples())
+		},
+	}, queries, n)
+}
+
+// ingestTarget abstracts the store live mode streams into — the single
+// live store or the sharded store — so one driver covers both.
+type ingestTarget struct {
+	// base is the original loaded database (source of duplicate tuples).
+	base *bcq.Database
+	// apply commits one write batch.
+	apply func([]bcq.LiveOp) error
+	// describe renders the pre-ingest state for the banner line.
+	describe func() string
+	// report prints the mode-specific ingest statistics.
+	report func(elapsed time.Duration, served int)
+}
+
+// driveIngest is live mode: it measures each query's answers and tuple
+// accesses on the pre-ingest state, streams n inserts (duplicates of
+// base tuples — schema-safe by construction) while a reader goroutine
+// keeps executing the queries against pinned views, then re-measures.
+// Bounded queries fetch the same number of tuples at the grown |D|.
+func driveIngest(eng *engine.Engine, tgt ingestTarget, queries []*bcq.Query, n int) error {
 	var preps []*engine.Prepared
 	for _, q := range queries {
 		prep, err := eng.PrepareQuery(q)
@@ -184,7 +422,7 @@ func runIngest(eng *engine.Engine, ld *bcq.LiveDatabase, queries []*bcq.Query, n
 	// duplicate of a live (X, Y) pair can never add a distinct Y-value,
 	// so ingest at full speed violates no constraint — and it is exactly
 	// the duplication mechanism datagen grows |D| with (DESIGN.md §2.2).
-	base := ld.Base()
+	base := tgt.base
 	var rels []string
 	for _, rs := range base.Catalog().Relations() {
 		if len(base.MustRelation(rs.Name()).Tuples) > 0 {
@@ -195,8 +433,8 @@ func runIngest(eng *engine.Engine, ld *bcq.LiveDatabase, queries []*bcq.Query, n
 		return fmt.Errorf("dataset has no tuples to duplicate")
 	}
 
-	fmt.Printf("live: |D| = %d; ingesting %d duplicate tuples (batches of %d) with concurrent reads ...\n",
-		ld.Snapshot().NumTuples(), n, ingestBatch)
+	fmt.Printf("live: %s; ingesting %d duplicate tuples (batches of %d) with concurrent reads ...\n",
+		tgt.describe(), n, ingestBatch)
 
 	type readerReport struct {
 		served int
@@ -232,8 +470,9 @@ func runIngest(eng *engine.Engine, ld *bcq.LiveDatabase, queries []*bcq.Query, n
 			tuples := base.MustRelation(rel).Tuples
 			ops = append(ops, bcq.InsertOp(rel, tuples[(i/len(rels))%len(tuples)]))
 		}
-		if _, err := ld.Apply(ops); err != nil {
+		if err := tgt.apply(ops); err != nil {
 			close(done)
+			<-reader
 			return err
 		}
 	}
@@ -244,10 +483,8 @@ func runIngest(eng *engine.Engine, ld *bcq.LiveDatabase, queries []*bcq.Query, n
 		return rep.err
 	}
 
-	ig := ld.IngestStats()
-	fmt.Printf("      ingested in %v (%.0f ops/s, %d epochs, %d flattens); served %d evaluations concurrently\n",
-		elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), ig.Epochs, ig.Flattens, rep.served)
-	fmt.Printf("      |D| now %d\n\n", ld.Snapshot().NumTuples())
+	tgt.report(elapsed, rep.served)
+	fmt.Println()
 
 	flat := true
 	for i, p := range preps {

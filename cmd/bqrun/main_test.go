@@ -2,20 +2,47 @@ package main
 
 import "testing"
 
+func cfg(mut func(*config)) config {
+	c := config{
+		dataset:  "social",
+		scale:    1.0 / 32,
+		query:    "../../testdata/q0.sql",
+		budget:   100_000,
+		parallel: 1,
+		shards:   1,
+	}
+	if mut != nil {
+		mut(&c)
+	}
+	return c
+}
+
 func TestRunSingleQuery(t *testing.T) {
-	if err := run("social", 1.0/32, "../../testdata/q0.sql", false, 100_000, 1, 0); err != nil {
+	if err := run(cfg(nil)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleQueryParallel(t *testing.T) {
-	if err := run("social", 1.0/32, "../../testdata/q0.sql", false, 100_000, 4, 0); err != nil {
+	if err := run(cfg(func(c *config) { c.parallel = 4 })); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunIngest(t *testing.T) {
-	if err := run("social", 1.0/32, "../../testdata/q0.sql", false, 100_000, 2, 5_000); err != nil {
+	if err := run(cfg(func(c *config) { c.parallel = 2; c.ingest = 5_000 })); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSharded(t *testing.T) {
+	if err := run(cfg(func(c *config) { c.shards = 3; c.parallel = 2; c.verbose = true })); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShardedIngest(t *testing.T) {
+	if err := run(cfg(func(c *config) { c.shards = 4; c.parallel = 2; c.ingest = 5_000 })); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,19 +51,47 @@ func TestRunWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a dataset and runs 15 queries")
 	}
-	if err := run("mot", 1.0/32, "", true, 200_000, 2, 0); err != nil {
+	if err := run(config{dataset: "mot", scale: 1.0 / 32, workload: true, budget: 200_000, parallel: 2, shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkloadSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a dataset and runs 15 queries at two shard counts")
+	}
+	if err := run(config{dataset: "tfacc", scale: 1.0 / 32, workload: true, budget: 200_000, parallel: 2, shards: 3, verbose: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadInputs(t *testing.T) {
-	if err := run("nope", 1, "", true, 0, 1, 0); err == nil {
+	if err := run(config{dataset: "nope", scale: 1, workload: true, parallel: 1, shards: 1}); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run("social", 1.0/32, "", false, 0, 1, 0); err == nil {
+	if err := run(cfg(func(c *config) { c.query = "" })); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := run("social", 1.0/32, "missing.sql", false, 0, 1, 0); err == nil {
+	if err := run(cfg(func(c *config) { c.query = "missing.sql" })); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*config)
+	}{
+		{"parallel=0", func(c *config) { c.parallel = 0 }},
+		{"parallel=-2", func(c *config) { c.parallel = -2 }},
+		{"ingest=-1", func(c *config) { c.ingest = -1 }},
+		{"shards=0", func(c *config) { c.shards = 0 }},
+		{"shards=-3", func(c *config) { c.shards = -3 }},
+		{"scale=0", func(c *config) { c.scale = 0 }},
+	}
+	for _, tc := range cases {
+		if err := run(cfg(tc.mut)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"bcq/internal/exec"
 	"bcq/internal/live"
 	"bcq/internal/schema"
+	"bcq/internal/shard"
 	"bcq/internal/spc"
 	"bcq/internal/storage"
 	"bcq/internal/value"
@@ -53,6 +54,12 @@ func (s dbSource) View() exec.Store { return s.db }
 type liveSource struct{ ls *live.Store }
 
 func (s liveSource) View() exec.Store { return s.ls.Snapshot() }
+
+// shardSource pins a consistent epoch vector across every shard per
+// evaluation.
+type shardSource struct{ ss *shard.Store }
+
+func (s shardSource) View() exec.Store { return s.ss.View() }
 
 // Options tunes an engine.
 type Options struct {
@@ -143,6 +150,23 @@ func NewLive(ls *live.Store, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("engine: live store is required")
 	}
 	return assemble(ls.Catalog(), ls.Access(), ls.Base(), liveSource{ls}, opts), nil
+}
+
+// NewSharded builds an engine over a sharded store: every execution pins
+// one consistent epoch vector across all shards (shard.Store.View) and
+// the executor scatter-gathers each step's probe batch to the owning
+// shards, so answers, per-result access statistics and |D_Q| are
+// byte-identical to single-store execution while ingest commits
+// shard-parallel. The shards' construction verified D |= A per shard,
+// which (groups being whole on one shard) is the global invariant.
+//
+// The engine's Database() is the base the store was partitioned from —
+// useful for baseline comparisons, not consulted for serving.
+func NewSharded(ss *shard.Store, opts Options) (*Engine, error) {
+	if ss == nil {
+		return nil, fmt.Errorf("engine: sharded store is required")
+	}
+	return assemble(ss.Catalog(), ss.Access(), ss.Base(), shardSource{ss}, opts), nil
 }
 
 // assemble wires the shared engine internals.

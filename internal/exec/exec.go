@@ -25,6 +25,12 @@
 // Concurrent probes require the database to be sealed
 // (storage.BuildIndexes) and rely on the storage layer's atomic access
 // counters.
+//
+// When the store is partitioned (PartitionedStore — the sharded store of
+// internal/shard), each step's probe batch is instead scattered across
+// the owning shards and gathered back in probe order: every probe routes
+// to exactly one shard, so sharded execution is also byte-identical to
+// single-store execution.
 package exec
 
 import (
@@ -50,6 +56,34 @@ type Store interface {
 	FetchBatch(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error)
 	// NonEmpty reports whether a relation has at least one tuple.
 	NonEmpty(rel string) (bool, error)
+}
+
+// PartitionedStore is a Store split into shards such that every access
+// index group lives wholly on one shard — each probe has exactly one
+// owning shard, so scatter-gather execution never merges or deduplicates
+// entry groups across shards. The sharded store (internal/shard) arranges
+// this by hash-partitioning each relation on an X-set contained in every
+// constraint's X of that relation.
+//
+// The executor detects the interface and fans each step's probe batch out
+// shard by shard (see probeAC): probes are bucketed by owning shard, each
+// shard's sub-batch is fetched with one FetchShard call, and the groups
+// are written back into probe order, so the merge is deterministic and a
+// sharded run returns byte-identical Tuples, Stats and DQSize to a
+// single-store run over the same data.
+//
+// Index entry positions are shard-local. They identify a tuple only
+// together with the owning shard, which is why Partition's shard vector
+// travels alongside the entry groups into D_Q accounting.
+type PartitionedStore interface {
+	Store
+	// NumShards returns the number of partitions P (≥ 1).
+	NumShards() int
+	// Partition returns the owning shard of each probe in xs, aligned
+	// with xs.
+	Partition(ac schema.AccessConstraint, xs []value.Tuple) ([]int, error)
+	// FetchShard is FetchBatch against one shard's index.
+	FetchShard(shard int, ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error)
 }
 
 // Result is a query answer plus the access statistics of the evaluation.
@@ -136,10 +170,13 @@ func (s *candSet) add(v value.Value) {
 }
 
 // fetched is one recorded index probe: the X-combo used and the entries it
-// returned; kept only for steps some verification collects from.
+// returned; kept only for steps some verification collects from. shard is
+// the probe's owning shard (0 on unsharded stores), carried because entry
+// positions are shard-local.
 type fetched struct {
 	combo   value.Tuple
 	entries []storage.IndexEntry
+	shard   int
 }
 
 // rowTable is one atom's verified rows R_i, with the class carried by each
@@ -198,20 +235,24 @@ func (r *run) grow() error {
 
 	for si, st := range r.p.Steps {
 		xs := lookupTuples(r.V, st.XClasses)
-		groups, err := r.probeAC(st.AC, xs)
+		groups, owners, err := r.probeAC(st.AC, xs)
 		if err != nil {
 			return err
 		}
 		// Deterministic merge, in probe order.
 		for i, entries := range groups {
+			shard := 0
+			if owners != nil {
+				shard = owners[i]
+			}
 			for _, e := range entries {
-				r.dq.add(st.AC.Rel, e.Pos)
+				r.dq.add(st.AC.Rel, shard, e.Pos)
 				for _, yi := range st.BindPos {
 					r.V[st.YClasses[yi]].add(e.Y[yi])
 				}
 			}
 			if retain[si] && len(entries) > 0 {
-				r.recorded[si] = append(r.recorded[si], fetched{combo: xs[i], entries: entries})
+				r.recorded[si] = append(r.recorded[si], fetched{combo: xs[i], entries: entries, shard: shard})
 			}
 		}
 	}
@@ -260,13 +301,17 @@ func (r *run) verify() (tables []rowTable, empty bool, err error) {
 			}
 		} else {
 			xs := lookupTuples(r.V, vs.XClasses)
-			groups, err := r.probeAC(vs.Witness, xs)
+			groups, owners, err := r.probeAC(vs.Witness, xs)
 			if err != nil {
 				return nil, false, err
 			}
 			for i, entries := range groups {
+				shard := 0
+				if owners != nil {
+					shard = owners[i]
+				}
 				for _, e := range entries {
-					r.dq.add(vs.Witness.Rel, e.Pos)
+					r.dq.add(vs.Witness.Rel, shard, e.Pos)
 					collect(xs[i], e)
 				}
 			}
@@ -432,22 +477,29 @@ func lookupTuples(V []*candSet, classes []int) []value.Tuple {
 }
 
 // dqTracker deduplicates fetched witness tuples per relation position,
-// measuring |D_Q|.
+// measuring |D_Q|. Positions are shard-local on partitioned stores, so a
+// tuple is identified by (relation, shard, position); unsharded stores
+// use shard 0 throughout, making the key equivalent to the plain
+// (relation, position) pair.
 type dqTracker struct {
-	seen map[string]map[int]bool
+	seen map[string]map[shardPos]bool
 	n    int64
 }
 
-func newDQTracker() *dqTracker { return &dqTracker{seen: make(map[string]map[int]bool)} }
+// shardPos identifies one tuple occurrence within a relation.
+type shardPos struct{ shard, pos int }
 
-func (d *dqTracker) add(rel string, pos int) {
+func newDQTracker() *dqTracker { return &dqTracker{seen: make(map[string]map[shardPos]bool)} }
+
+func (d *dqTracker) add(rel string, shard, pos int) {
 	m := d.seen[rel]
 	if m == nil {
-		m = make(map[int]bool)
+		m = make(map[shardPos]bool)
 		d.seen[rel] = m
 	}
-	if !m[pos] {
-		m[pos] = true
+	k := shardPos{shard: shard, pos: pos}
+	if !m[k] {
+		m[k] = true
 		d.n++
 	}
 }

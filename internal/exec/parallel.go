@@ -14,24 +14,108 @@ const minParallelBatch = 8
 
 // probeAC evaluates one step's lookup batch — the constraint's index
 // probed once per tuple of xs — returning the entry groups aligned with
-// xs (group i answers xs[i]).
+// xs (group i answers xs[i]) and, on partitioned stores, the owning shard
+// of each probe (owners is nil on unsharded stores, meaning shard 0).
 //
-// Sequentially this is a single storage.FetchBatch. With Parallelism > 1
-// the batch is split into contiguous chunks, one per worker of a bounded
-// pool, and each worker writes its groups into its own slice segment; the
-// alignment makes the merge order independent of goroutine scheduling, so
-// parallel execution is deterministic. The storage layer's counters are
-// atomic, so the accounting is exact too.
-func (r *run) probeAC(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error) {
-	groups, err := r.fanout(ac, xs)
+// Against a plain Store this is a single storage.FetchBatch, optionally
+// split into contiguous chunks over the worker pool. Against a
+// PartitionedStore it is scatter-gather: probes are bucketed by owning
+// shard, each shard's sub-batch is one FetchShard call (concurrent when
+// Parallelism > 1), and groups are written back into probe order. Either
+// way the merge order is independent of goroutine scheduling, so parallel
+// and sharded execution are deterministic. The storage layer's counters
+// are atomic, so the accounting is exact too.
+func (r *run) probeAC(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, []int, error) {
+	var (
+		groups [][]storage.IndexEntry
+		owners []int
+		err    error
+	)
+	if ps, ok := r.db.(PartitionedStore); ok && ps.NumShards() > 1 {
+		groups, owners, err = r.scatterGather(ps, ac, xs)
+	} else {
+		groups, err = r.fanout(ac, xs)
+	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r.lookups += int64(len(xs))
 	for _, g := range groups {
 		r.fetched += int64(len(g))
 	}
-	return groups, nil
+	return groups, owners, nil
+}
+
+// scatterGather routes a probe batch across the shards of a partitioned
+// store: every probe has exactly one owning shard (the store keeps each
+// index group whole on one shard), so the gather is pure reassembly — no
+// cross-shard merge or deduplication. Sub-batches preserve the relative
+// probe order within each shard, and groups land back at their probe's
+// position, so the result is byte-identical to probing a single store
+// holding the union of the shards.
+func (r *run) scatterGather(ps PartitionedStore, ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, []int, error) {
+	owners, err := ps.Partition(ac, xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]storage.IndexEntry, len(xs))
+	if len(xs) == 0 {
+		return out, owners, nil
+	}
+
+	// Bucket probe indices by owning shard.
+	buckets := make([][]int, ps.NumShards())
+	for i, s := range owners {
+		buckets[s] = append(buckets[s], i)
+	}
+	var active []int
+	for s, idx := range buckets {
+		if len(idx) > 0 {
+			active = append(active, s)
+		}
+	}
+
+	fetchShard := func(s int) error {
+		idx := buckets[s]
+		sub := make([]value.Tuple, len(idx))
+		for j, i := range idx {
+			sub[j] = xs[i]
+		}
+		groups, err := ps.FetchShard(s, ac, sub)
+		if err != nil {
+			return err
+		}
+		for j, i := range idx {
+			out[i] = groups[j]
+		}
+		return nil
+	}
+
+	if len(active) == 1 || r.ex.Parallelism <= 1 {
+		for _, s := range active {
+			if err := fetchShard(s); err != nil {
+				return nil, nil, err
+			}
+		}
+		return out, owners, nil
+	}
+
+	errs := make([]error, len(active))
+	var wg sync.WaitGroup
+	for k, s := range active {
+		wg.Add(1)
+		go func(k, s int) {
+			defer wg.Done()
+			errs[k] = fetchShard(s)
+		}(k, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, owners, nil
 }
 
 // fanout performs the raw batched probes, splitting large batches over

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report bundles everything one bqexp invocation produced, in a shape
+// that marshals to stable, machine-readable JSON. CI uses it to emit
+// benchmark trajectory files (BENCH_*.json) instead of scraping the
+// rendered tables; every field is optional — a run restricted with -only
+// fills only what it ran.
+type Report struct {
+	// Panels are the Figure 5 sub-figures that ran, in run order.
+	Panels []Panel `json:"panels,omitempty"`
+	// Table1 holds the per-dataset algorithm timings (durations in
+	// nanoseconds, Go's default).
+	Table1 []Table1Row `json:"table1,omitempty"`
+	// Table2 holds the complexity-scaling measurements.
+	Table2 []Table2Point `json:"table2,omitempty"`
+	// Census holds the Exp-1 bounded/effectively-bounded counts.
+	Census []CensusResult `json:"census,omitempty"`
+}
+
+// Empty reports whether nothing was collected (so callers can skip
+// writing a file of empty arrays).
+func (r *Report) Empty() bool {
+	return len(r.Panels) == 0 && len(r.Table1) == 0 && len(r.Table2) == 0 && len(r.Census) == 0
+}
+
+// WriteJSON emits the report as indented JSON (one trailing newline).
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

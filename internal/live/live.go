@@ -228,10 +228,12 @@ type Store struct {
 	// quarantine accumulates Permissive-mode refusals.
 	quarantine []Quarantined
 
-	// read-side counters (atomic; see Stats).
-	lookups atomic.Int64
-	fetched atomic.Int64
-	scanned atomic.Int64
+	// read-side counters (atomic; see Stats). relStats breaks them down
+	// per relation (the map is immutable after New).
+	lookups  atomic.Int64
+	fetched  atomic.Int64
+	scanned  atomic.Int64
+	relStats map[string]*relCounters
 	// ingest counters.
 	batches     atomic.Int64
 	applied     atomic.Int64
@@ -258,12 +260,16 @@ func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store
 		return nil, fmt.Errorf("live: indexing base database: %w", err)
 	}
 	st := &Store{
-		base:  base,
-		cat:   cat,
-		acc:   acc,
-		mode:  opts.Mode,
-		byRel: make(map[string][]acBinding),
-		byKey: make(map[string]acBinding),
+		base:     base,
+		cat:      cat,
+		acc:      acc,
+		mode:     opts.Mode,
+		byRel:    make(map[string][]acBinding),
+		byKey:    make(map[string]acBinding),
+		relStats: make(map[string]*relCounters, cat.NumRelations()),
+	}
+	for _, rs := range cat.Relations() {
+		st.relStats[rs.Name()] = &relCounters{}
 	}
 	for _, ac := range acc.Constraints() {
 		rel, err := base.Relation(ac.Rel)
@@ -374,6 +380,25 @@ func (st *Store) Mode() Mode { return st.mode }
 // safe for any number of concurrent readers, unaffected by later writes.
 func (st *Store) Snapshot() *Snapshot { return st.cur.Load() }
 
+// LiveCount returns the number of live occurrences of an exactly-equal
+// tuple (0 for unknown relations). It consults the writer bookkeeping
+// under the writer lock, so the answer is exact at the instant of the
+// call; a concurrent commit may change it immediately after. The sharded
+// layer uses it to route deletes of constraint-less relations to a shard
+// actually holding the tuple.
+func (st *Store) LiveCount(rel string, t value.Tuple) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap := st.cur.Load()
+	n := 0
+	for _, pos := range st.tupPos[rel][t.Key()] {
+		if !snap.isDeleted(rel, pos) {
+			n++
+		}
+	}
+	return n
+}
+
 // Epoch returns the current epoch number (0 until the first commit).
 func (st *Store) Epoch() uint64 { return st.cur.Load().epoch }
 
@@ -389,6 +414,24 @@ func (st *Store) Delete(rel string, t value.Tuple) error {
 	return err
 }
 
+// relCounters is the per-relation breakdown of the read-side counters.
+type relCounters struct {
+	lookups atomic.Int64
+	fetched atomic.Int64
+	scanned atomic.Int64
+}
+
+// liveDiscard absorbs counts for unknown relation names (the read paths
+// reject those before counting; this keeps the breakdown total-safe).
+var liveDiscard relCounters
+
+func (st *Store) relCounters(rel string) *relCounters {
+	if c, ok := st.relStats[rel]; ok {
+		return c
+	}
+	return &liveDiscard
+}
+
 // Stats returns a snapshot of the read-side access counters, aggregated
 // over every snapshot of this store (probes served from the base index
 // and from overlays count alike).
@@ -400,11 +443,31 @@ func (st *Store) Stats() storage.Stats {
 	}
 }
 
-// ResetStats zeroes the read-side counters.
+// RelStats returns the per-relation breakdown of the read-side counters
+// (same shape as Database.RelStats): which relations absorb the probes.
+// Relations with no accesses are included with zero counts.
+func (st *Store) RelStats() map[string]storage.Stats {
+	out := make(map[string]storage.Stats, len(st.relStats))
+	for rel, c := range st.relStats {
+		out[rel] = storage.Stats{
+			IndexLookups:  c.lookups.Load(),
+			TuplesFetched: c.fetched.Load(),
+			TuplesScanned: c.scanned.Load(),
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes the read-side counters, global and per-relation.
 func (st *Store) ResetStats() {
 	st.lookups.Store(0)
 	st.fetched.Store(0)
 	st.scanned.Store(0)
+	for _, c := range st.relStats {
+		c.lookups.Store(0)
+		c.fetched.Store(0)
+		c.scanned.Store(0)
+	}
 }
 
 // IngestStats returns a snapshot of the write-side counters.

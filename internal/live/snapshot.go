@@ -129,6 +129,9 @@ func (s *Snapshot) Fetch(ac schema.AccessConstraint, xVals value.Tuple) ([]stora
 	entries := s.lookupGroup(key, xVals.Key())
 	s.st.lookups.Add(1)
 	s.st.fetched.Add(int64(len(entries)))
+	rc := s.st.relCounters(ac.Rel)
+	rc.lookups.Add(1)
+	rc.fetched.Add(int64(len(entries)))
 	return entries, nil
 }
 
@@ -153,6 +156,9 @@ func (s *Snapshot) FetchBatch(ac schema.AccessConstraint, xs []value.Tuple) ([][
 	}
 	s.st.lookups.Add(int64(len(xs)))
 	s.st.fetched.Add(fetched)
+	rc := s.st.relCounters(ac.Rel)
+	rc.lookups.Add(int64(len(xs)))
+	rc.fetched.Add(fetched)
 	return out, nil
 }
 
@@ -167,6 +173,7 @@ func (s *Snapshot) NonEmpty(rel string) (bool, error) {
 		return false, nil
 	}
 	s.st.fetched.Add(1)
+	s.st.relCounters(rel).fetched.Add(1)
 	return true, nil
 }
 
@@ -204,8 +211,10 @@ func (s *Snapshot) each(rel string, f func(pos int, t value.Tuple) bool) error {
 // across epochs, unique per occurrence, not contiguous once tuples have
 // been deleted.
 func (s *Snapshot) Scan(rel string, f func(pos int, t value.Tuple) bool) error {
+	rc := s.st.relCounters(rel)
 	return s.each(rel, func(pos int, t value.Tuple) bool {
 		s.st.scanned.Add(1)
+		rc.scanned.Add(1)
 		return f(pos, t)
 	})
 }

@@ -1,0 +1,424 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bcq/internal/core"
+	"bcq/internal/exec"
+	"bcq/internal/live"
+	"bcq/internal/plan"
+	"bcq/internal/schema"
+	"bcq/internal/shard"
+	"bcq/internal/spc"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+const testDDL = `
+relation in_album(photo_id, album_id)
+relation friends(user_id, friend_id)
+relation tagging(photo_id, tagger_id, taggee_id)
+
+constraint in_album: (album_id) -> (photo_id, 1000)
+constraint friends: (user_id) -> (friend_id, 5000)
+constraint tagging: (photo_id, taggee_id) -> (tagger_id, 1)
+`
+
+const testQuery = `
+query Q0:
+select t1.photo_id
+from in_album as t1, friends as t2, tagging as t3
+where t1.album_id = 'a0'
+  and t2.user_id = 'u0'
+  and t1.photo_id = t3.photo_id
+  and t3.tagger_id = t2.friend_id
+  and t3.taggee_id = t2.user_id
+`
+
+func str(s string) value.Value { return value.Str(s) }
+
+// scene loads a deterministic social scene into a fresh database.
+func scene(t testing.TB, nAlbums, nUsers int) (*schema.Catalog, *schema.AccessSchema, *storage.Database) {
+	t.Helper()
+	cat, acc, err := schema.ParseDDL(testDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat)
+	ins := func(rel string, vals ...string) {
+		t.Helper()
+		tu := make(value.Tuple, len(vals))
+		for i, v := range vals {
+			tu[i] = str(v)
+		}
+		if err := db.Insert(rel, tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := 0; a < nAlbums; a++ {
+		for p := 0; p < 5; p++ {
+			photo := fmt.Sprintf("a%dp%d", a, p)
+			ins("in_album", photo, fmt.Sprintf("a%d", a))
+			ins("tagging", photo, fmt.Sprintf("u%d", (a+p)%nUsers), fmt.Sprintf("u%d", p%nUsers))
+		}
+	}
+	for u := 0; u < nUsers; u++ {
+		for f := 1; f <= 3; f++ {
+			ins("friends", fmt.Sprintf("u%d", u), fmt.Sprintf("u%d", (u+f)%nUsers))
+		}
+	}
+	return cat, acc, db
+}
+
+// planFor analyzes and plans the test query.
+func planFor(t testing.TB, cat *schema.Catalog, acc *schema.AccessSchema) *plan.Plan {
+	t.Helper()
+	q, err := spc.Parse(testQuery, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.NewAnalysis(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.QPlan(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func render(r *exec.Result) string {
+	return fmt.Sprintf("cols=%v tuples=%v stats=%+v dq=%d", r.Cols, r.Tuples, r.Stats, r.DQSize)
+}
+
+func TestShardedExecutionMatchesSealedDatabase(t *testing.T) {
+	cat, acc, db := scene(t, 6, 5)
+	pl := planFor(t, cat, acc)
+
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		ss, err := shard.New(db, acc, shard.Options{Shards: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		// Seal the reference copy after the shard store has read it.
+		if p == 1 {
+			if err := db.EnsureIndexes(acc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := exec.Run(pl, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			got, err := exec.New(workers).Run(pl, ss.View())
+			if err != nil {
+				t.Fatalf("P=%d workers=%d: %v", p, workers, err)
+			}
+			if render(got) != render(want) {
+				t.Errorf("P=%d workers=%d diverged\n got:  %s\n want: %s", p, workers, render(got), render(want))
+			}
+		}
+	}
+}
+
+func TestShardedIngestMatchesSingleLiveStore(t *testing.T) {
+	_, acc, db := scene(t, 4, 4)
+	cat2, acc2, db2 := scene(t, 4, 4)
+	pl := planFor(t, cat2, acc2)
+
+	ss, err := shard.New(db, acc, shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := live.New(db2, acc2, live.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same op sequence against both stores: fresh inserts, a
+	// duplicate, then deletes that force re-witnessing.
+	ops := []live.Op{
+		live.Insert("in_album", value.Tuple{str("a0p9"), str("a0")}),
+		live.Insert("tagging", value.Tuple{str("a0p9"), str("u1"), str("u0")}),
+		live.Insert("friends", value.Tuple{str("u0"), str("u1")}), // duplicate pair
+		live.Insert("in_album", value.Tuple{str("a0p9"), str("a0")}),
+	}
+	if err := ss.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the first occurrence: the pair survives via the duplicate
+	// and must be re-witnessed identically on both sides.
+	del := []live.Op{live.Delete("in_album", value.Tuple{str("a0p9"), str("a0")})}
+	if err := ss.Apply(del); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Apply(del); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := exec.New(2).Run(pl, ss.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Run(pl, ls.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Errorf("sharded vs live diverged\n got:  %s\n want: %s", render(got), render(want))
+	}
+
+	// And against a database rebuilt from the sharded view.
+	frozen, err := ss.View().Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := exec.Run(pl, frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(ref) {
+		t.Errorf("sharded vs frozen diverged\n got:  %s\n want: %s", render(got), render(ref))
+	}
+}
+
+func TestViewIsConsistentCut(t *testing.T) {
+	_, acc, db := scene(t, 3, 3)
+	ss, err := shard.New(db, acc, shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ss.View()
+	before := v.NumTuples()
+	beforeEpochs := v.Epochs()
+
+	if err := ss.Insert("in_album", value.Tuple{str("zz"), str("a0")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.NumTuples(); got != before {
+		t.Errorf("pinned view grew: %d -> %d", before, got)
+	}
+	for s, e := range v.Epochs() {
+		if e != beforeEpochs[s] {
+			t.Errorf("pinned view epoch moved on shard %d: %d -> %d", s, beforeEpochs[s], e)
+		}
+	}
+	if got := ss.View().NumTuples(); got != before+1 {
+		t.Errorf("fresh view: got %d tuples, want %d", got, before+1)
+	}
+}
+
+func TestAdmissionBoundEnforcedPerShard(t *testing.T) {
+	cat, err := schema.NewCatalog(mustRel(t, "r", "x", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := schema.MustAccessSchema(schema.MustAccessConstraint("r", []string{"x"}, []string{"y"}, 2))
+	db := storage.NewDatabase(cat)
+	for _, y := range []string{"y1", "y2"} {
+		if err := db.Insert("r", value.Tuple{str("x0"), str(y)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, err := shard.New(db, acc, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The x0 group is full: a third distinct y must be rejected, on
+	// whichever shard owns the group.
+	err = ss.Insert("r", value.Tuple{str("x0"), str("y3")})
+	if err == nil {
+		t.Fatal("over-bound insert accepted")
+	}
+	// A duplicate of a live pair is always fine.
+	if err := ss.Insert("r", value.Tuple{str("x0"), str("y1")}); err != nil {
+		t.Fatalf("duplicate insert rejected: %v", err)
+	}
+}
+
+func TestPlacementDerivation(t *testing.T) {
+	cat, err := schema.NewCatalog(
+		mustRel(t, "part", "k", "v"),
+		mustRel(t, "wide", "a", "b", "c"),
+		mustRel(t, "dom", "d", "e"),
+		mustRel(t, "free", "f", "g"),
+		mustRel(t, "nested", "x", "y", "z"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := schema.MustAccessSchema(
+		schema.MustAccessConstraint("part", []string{"k"}, []string{"v"}, 10),
+		// Incomparable X-sets: no anchor.
+		schema.MustAccessConstraint("wide", []string{"a"}, []string{"c"}, 10),
+		schema.MustAccessConstraint("wide", []string{"b"}, []string{"c"}, 10),
+		// Bounded domain: empty-X anchor degenerates to pinning.
+		schema.MustAccessConstraint("dom", nil, []string{"e"}, 10),
+		// (x) anchors both (x) -> ... and (x, y) -> ...
+		schema.MustAccessConstraint("nested", []string{"x"}, []string{"y"}, 10),
+		schema.MustAccessConstraint("nested", []string{"x", "y"}, []string{"z"}, 5),
+	)
+	db := storage.NewDatabase(cat)
+	ss, err := shard.New(db, acc, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"part":   "partitioned by (k)",
+		"wide":   "pinned",
+		"dom":    "pinned",
+		"free":   "round-robin",
+		"nested": "partitioned by (x)",
+	}
+	for rel, prefix := range want {
+		got, err := ss.PlacementOf(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) < len(prefix) || got[:len(prefix)] != prefix {
+			t.Errorf("placement of %s: got %q, want prefix %q", rel, got, prefix)
+		}
+	}
+}
+
+func TestRoundRobinRelationLifecycle(t *testing.T) {
+	cat, err := schema.NewCatalog(mustRel(t, "part", "k", "v"), mustRel(t, "free", "f", "g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := schema.MustAccessSchema(schema.MustAccessConstraint("part", []string{"k"}, []string{"v"}, 10))
+	db := storage.NewDatabase(cat)
+	ss, err := shard.New(db, acc, shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := ss.View()
+	if ok, _ := v.NonEmpty("free"); ok {
+		t.Fatal("empty relation reported non-empty")
+	}
+	// Inserts spread round-robin; deletes must find their shard.
+	for i := 0; i < 6; i++ {
+		if err := ss.Insert("free", value.Tuple{str(fmt.Sprintf("f%d", i)), str("g")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizes := ss.ShardSizes()
+	for s, n := range sizes {
+		if n != 2 {
+			t.Errorf("shard %d holds %d tuples, want 2 (round-robin)", s, n)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := ss.Delete("free", value.Tuple{str(fmt.Sprintf("f%d", i)), str("g")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, _ := ss.View().NonEmpty("free"); ok {
+		t.Fatal("relation non-empty after deleting every tuple")
+	}
+	// Deleting a tuple with no live occurrence surfaces live's error —
+	// before any sub-batch commits, so the store is unchanged.
+	err = ss.Delete("free", value.Tuple{str("f0"), str("g")})
+	if err == nil {
+		t.Fatal("delete of absent tuple succeeded")
+	}
+	if !errors.Is(err, live.ErrNoSuchTuple) {
+		t.Fatalf("absent delete: got %v, want ErrNoSuchTuple", err)
+	}
+}
+
+func TestRoundRobinInBatchInsertDelete(t *testing.T) {
+	cat, err := schema.NewCatalog(mustRel(t, "part", "k", "v"), mustRel(t, "free", "f", "g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := schema.MustAccessSchema(schema.MustAccessConstraint("part", []string{"k"}, []string{"v"}, 10))
+	db := storage.NewDatabase(cat)
+	ss, err := shard.New(db, acc, shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the round-robin cursor off shard 0, so a misrouted delete
+	// would land on an empty shard.
+	if err := ss.Insert("free", value.Tuple{str("warm"), str("g")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An insert-then-delete of the same tuple inside one batch must land
+	// on one shard, in order — net zero, exactly as a single live store
+	// processes it.
+	tup := value.Tuple{str("t"), str("g")}
+	before := ss.NumTuples()
+	if err := ss.Apply([]live.Op{live.Insert("free", tup), live.Delete("free", tup)}); err != nil {
+		t.Fatalf("in-batch insert+delete: %v", err)
+	}
+	if got := ss.NumTuples(); got != before {
+		t.Errorf("in-batch insert+delete left |D| = %d, want %d", got, before)
+	}
+
+	// Two occurrences on (round-robin) different shards, deleted in one
+	// batch: both deletes must route to shards actually holding a copy.
+	if err := ss.Apply([]live.Op{live.Insert("free", tup), live.Insert("free", tup)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Apply([]live.Op{live.Delete("free", tup), live.Delete("free", tup)}); err != nil {
+		t.Fatalf("double delete across shards: %v", err)
+	}
+	if got := ss.NumTuples(); got != before {
+		t.Errorf("double delete left |D| = %d, want %d", got, before)
+	}
+}
+
+func TestCompactPreservesResults(t *testing.T) {
+	cat, acc, db := scene(t, 4, 4)
+	pl := planFor(t, cat, acc)
+	ss, err := shard.New(db, acc, shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := ss.Insert("friends", value.Tuple{str("u0"), str("u1")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := exec.Run(pl, ss.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := ss.View()
+	if err := ss.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := exec.Run(pl, ss.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(before) != render(after) {
+		t.Errorf("compact changed results\n before: %s\n after:  %s", render(before), render(after))
+	}
+	// The pre-compaction pin stays valid.
+	old, err := exec.Run(pl, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(old) != render(before) {
+		t.Errorf("pre-compaction pin diverged\n pin:    %s\n before: %s", render(old), render(before))
+	}
+}
+
+func mustRel(t *testing.T, name string, attrs ...string) *schema.Relation {
+	t.Helper()
+	r, err := schema.NewRelation(name, attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

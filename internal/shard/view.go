@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"fmt"
+
+	"bcq/internal/live"
+	"bcq/internal/schema"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// View is one atomically pinned epoch vector: an immutable, fully
+// consistent cut across every shard's snapshot chain. It satisfies the
+// executor's Store and PartitionedStore interfaces, so bounded evaluation
+// runs against a view exactly as it runs against a sealed database or a
+// live snapshot — the executor scatters each probe batch to the owning
+// shards and gathers the groups back in probe order.
+//
+// Entry positions returned by a view are shard-local; they identify a
+// tuple only together with the shard index that Partition reports, which
+// is how the executor keys its D_Q accounting.
+type View struct {
+	st    *Store
+	snaps []*live.Snapshot
+}
+
+// NumShards returns the partition count P (exec.PartitionedStore).
+func (v *View) NumShards() int { return len(v.snaps) }
+
+// Epochs returns the pinned epoch vector, aligned with shard indices.
+func (v *View) Epochs() []uint64 {
+	out := make([]uint64, len(v.snaps))
+	for s, sn := range v.snaps {
+		out[s] = sn.Epoch()
+	}
+	return out
+}
+
+// Snapshot returns one shard's pinned snapshot.
+func (v *View) Snapshot(shard int) *live.Snapshot { return v.snaps[shard] }
+
+// Partition returns the owning shard of each probe in xs
+// (exec.PartitionedStore). Probes of a partitioned relation hash the
+// shard-key attributes embedded in the constraint's X-binding; probes of
+// a pinned relation all route to its home shard.
+func (v *View) Partition(ac schema.AccessConstraint, xs []value.Tuple) ([]int, error) {
+	rt, ok := v.st.routes[ac.Key()]
+	if !ok {
+		return nil, fmt.Errorf("shard: no route for constraint %s (not in the access schema)", ac)
+	}
+	out := make([]int, len(xs))
+	if rt.pinnedTo >= 0 {
+		for i := range out {
+			out[i] = rt.pinnedTo
+		}
+		return out, nil
+	}
+	for i, x := range xs {
+		if len(x) != len(ac.X) {
+			return nil, fmt.Errorf("shard: constraint %s expects %d lookup values, got %d", ac, len(ac.X), len(x))
+		}
+		out[i] = int(hashKey(rt.rel, value.KeyOf(x, rt.keyInX)) % uint64(len(v.snaps)))
+	}
+	return out, nil
+}
+
+// FetchShard probes one shard's index (exec.PartitionedStore). Counts
+// accrue to that shard's live store.
+func (v *View) FetchShard(shard int, ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error) {
+	return v.snaps[shard].FetchBatch(ac, xs)
+}
+
+// FetchBatch probes the logical index once per X-tuple (exec.Store): each
+// probe is routed to its owning shard and the groups are gathered back
+// aligned with xs. The executor prefers the explicit scatter-gather path
+// (Partition + FetchShard), which additionally reports the owning shards
+// for D_Q accounting; FetchBatch exists for callers that treat the view
+// as a plain store.
+func (v *View) FetchBatch(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error) {
+	owners, err := v.Partition(ac, xs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]storage.IndexEntry, len(xs))
+	buckets := make([][]int, len(v.snaps))
+	for i, s := range owners {
+		buckets[s] = append(buckets[s], i)
+	}
+	for s, idx := range buckets {
+		if len(idx) == 0 {
+			continue
+		}
+		sub := make([]value.Tuple, len(idx))
+		for j, i := range idx {
+			sub[j] = xs[i]
+		}
+		groups, err := v.snaps[s].FetchBatch(ac, sub)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range idx {
+			out[i] = groups[j]
+		}
+	}
+	return out, nil
+}
+
+// Fetch probes the logical index with one X-value.
+func (v *View) Fetch(ac schema.AccessConstraint, xVals value.Tuple) ([]storage.IndexEntry, error) {
+	groups, err := v.FetchBatch(ac, []value.Tuple{xVals})
+	if err != nil {
+		return nil, err
+	}
+	return groups[0], nil
+}
+
+// NonEmpty reports whether a relation has at least one live tuple in any
+// shard (exec.Store). The fan-out stops at the first non-empty shard;
+// like the single-store probe it counts one fetched tuple when non-empty
+// and nothing when empty.
+func (v *View) NonEmpty(rel string) (bool, error) {
+	for _, sn := range v.snaps {
+		ok, err := sn.NonEmpty(rel)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// NumTuples returns |D| at this view: live tuples across all shards.
+func (v *View) NumTuples() int64 {
+	var n int64
+	for _, sn := range v.snaps {
+		n += sn.NumTuples()
+	}
+	return n
+}
+
+// Size returns the live tuple count of one relation across all shards.
+func (v *View) Size(rel string) (int64, error) {
+	var n int64
+	for _, sn := range v.snaps {
+		c, err := sn.Size(rel)
+		if err != nil {
+			return 0, err
+		}
+		n += c
+	}
+	return n, nil
+}
+
+// ShardSizes returns each shard's live tuple count at this view.
+func (v *View) ShardSizes() []int64 {
+	out := make([]int64, len(v.snaps))
+	for s, sn := range v.snaps {
+		out[s] = sn.NumTuples()
+	}
+	return out
+}
+
+// Tuples materializes the live tuples of a relation in the view's
+// canonical order — shard 0's live order, then shard 1's, and so on —
+// without access accounting. The canonical order is what Freeze loads,
+// so "rebuild a single database from the view" is well-defined and
+// byte-reproducible.
+func (v *View) Tuples(rel string) ([]value.Tuple, error) {
+	var out []value.Tuple
+	for _, sn := range v.snaps {
+		ts, err := sn.Tuples(rel)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// Freeze materializes the whole view as one fresh sealed database: every
+// live tuple of every shard inserted in canonical order, indexes built
+// for the store's access schema. Within any one index group all member
+// tuples live on a single shard (the placement invariant), so the frozen
+// database's witness choices coincide with the shards' — bounded
+// evaluation on the frozen database is byte-identical to scatter-gather
+// evaluation on the view itself, which is what the sharded property
+// tests check.
+func (v *View) Freeze() (*storage.Database, error) {
+	db := storage.NewDatabase(v.st.cat)
+	for _, rs := range v.st.cat.Relations() {
+		ts, err := v.Tuples(rs.Name())
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ts {
+			if err := db.Insert(rs.Name(), t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := db.BuildIndexes(v.st.acc); err != nil {
+		return nil, fmt.Errorf("shard: frozen view violates the access schema (shard-store bug): %w", err)
+	}
+	return db, nil
+}

@@ -116,6 +116,9 @@ type Database struct {
 	access map[string]*AccessIndex // keyed by AccessConstraint.Key()
 	rowIdx map[string]*RowIndex    // keyed by rel + "." + attr
 	stats  counters
+	// relStats breaks the access counters down per relation (same atomic
+	// discipline as stats; the map itself is immutable after NewDatabase).
+	relStats map[string]*counters
 	// sealed is set by BuildIndexes/EnsureIndexes; a sealed database
 	// rejects Insert, which is what makes lock-free concurrent reads safe.
 	sealed bool
@@ -125,13 +128,15 @@ type Database struct {
 // entry.
 func NewDatabase(cat *schema.Catalog) *Database {
 	db := &Database{
-		cat:    cat,
-		rels:   make(map[string]*Relation, cat.NumRelations()),
-		access: make(map[string]*AccessIndex),
-		rowIdx: make(map[string]*RowIndex),
+		cat:      cat,
+		rels:     make(map[string]*Relation, cat.NumRelations()),
+		access:   make(map[string]*AccessIndex),
+		rowIdx:   make(map[string]*RowIndex),
+		relStats: make(map[string]*counters, cat.NumRelations()),
 	}
 	for _, r := range cat.Relations() {
 		db.rels[r.Name()] = &Relation{Schema: r}
+		db.relStats[r.Name()] = &counters{}
 	}
 	return db
 }
@@ -195,8 +200,39 @@ func (db *Database) NumTuples() int64 {
 // subtracted (Stats.Sub) to measure one evaluation.
 func (db *Database) Stats() Stats { return db.stats.snapshot() }
 
-// ResetStats zeroes the access counters.
-func (db *Database) ResetStats() { db.stats.reset() }
+// ResetStats zeroes the access counters, global and per-relation.
+func (db *Database) ResetStats() {
+	db.stats.reset()
+	for _, c := range db.relStats {
+		c.reset()
+	}
+}
+
+// RelStats returns a per-relation breakdown of the access counters: which
+// relations absorb the lookups and fetches. The global Stats() remains
+// the sum; the breakdown is what makes hot relations — and, one layer up,
+// shard balance — observable. Relations with no accesses are included
+// with zero counts.
+func (db *Database) RelStats() map[string]Stats {
+	out := make(map[string]Stats, len(db.relStats))
+	for rel, c := range db.relStats {
+		out[rel] = c.snapshot()
+	}
+	return out
+}
+
+// discard absorbs counts for unknown relation names (which the read paths
+// have already rejected before counting; this is belt-and-braces so the
+// per-relation sum always matches the global counters).
+var discard counters
+
+// relCounters returns the per-relation counter block.
+func (db *Database) relCounters(rel string) *counters {
+	if c, ok := db.relStats[rel]; ok {
+		return c
+	}
+	return &discard
+}
 
 // Scan iterates every tuple of a relation, counting each against the scan
 // statistics. The callback returning false stops the scan early.
@@ -205,8 +241,10 @@ func (db *Database) Scan(rel string, f func(pos int, t value.Tuple) bool) error 
 	if err != nil {
 		return err
 	}
+	rc := db.relCounters(rel)
 	for i, t := range r.Tuples {
 		db.stats.tuplesScanned.Add(1)
+		rc.tuplesScanned.Add(1)
 		if !f(i, t) {
 			return nil
 		}
@@ -226,6 +264,7 @@ func (db *Database) NonEmpty(rel string) (bool, error) {
 		return false, nil
 	}
 	db.stats.tuplesFetched.Add(1)
+	db.relCounters(rel).tuplesFetched.Add(1)
 	return true, nil
 }
 

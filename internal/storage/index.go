@@ -186,9 +186,12 @@ func (db *Database) Fetch(ac schema.AccessConstraint, xVals value.Tuple) ([]Inde
 	if len(xVals) != len(ac.X) {
 		return nil, fmt.Errorf("storage: constraint %s expects %d lookup values, got %d", ac, len(ac.X), len(xVals))
 	}
-	db.stats.indexLookups.Add(1)
 	entries := idx.m[xVals.Key()]
+	db.stats.indexLookups.Add(1)
 	db.stats.tuplesFetched.Add(int64(len(entries)))
+	rc := db.relCounters(ac.Rel)
+	rc.indexLookups.Add(1)
+	rc.tuplesFetched.Add(int64(len(entries)))
 	return entries, nil
 }
 
@@ -215,6 +218,9 @@ func (db *Database) FetchBatch(ac schema.AccessConstraint, xs []value.Tuple) ([]
 	}
 	db.stats.indexLookups.Add(int64(len(xs)))
 	db.stats.tuplesFetched.Add(fetched)
+	rc := db.relCounters(ac.Rel)
+	rc.indexLookups.Add(int64(len(xs)))
+	rc.tuplesFetched.Add(fetched)
 	return out, nil
 }
 
@@ -292,6 +298,7 @@ func (db *Database) RowLookup(rel, attr string, v value.Value) (positions []int,
 		return nil, false
 	}
 	db.stats.indexLookups.Add(1)
+	db.relCounters(rel).indexLookups.Add(1)
 	return idx.m[v], true
 }
 
@@ -306,5 +313,6 @@ func (db *Database) ReadAt(rel string, pos int) (value.Tuple, error) {
 		return nil, fmt.Errorf("storage: position %d out of range for relation %s", pos, rel)
 	}
 	db.stats.tuplesFetched.Add(1)
+	db.relCounters(rel).tuplesFetched.Add(1)
 	return r.Tuples[pos], nil
 }
