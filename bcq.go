@@ -69,6 +69,7 @@ import (
 	"bcq/internal/live"
 	"bcq/internal/plan"
 	"bcq/internal/schema"
+	"bcq/internal/serve"
 	"bcq/internal/shard"
 	"bcq/internal/spc"
 	"bcq/internal/storage"
@@ -360,6 +361,33 @@ func NewShardedDatabase(db *Database, acc *AccessSchema, opts ShardOptions) (*Sh
 // scales with the shard count.
 func NewShardedEngine(ss *ShardedDatabase, opts EngineOptions) (*Engine, error) {
 	return engine.NewSharded(ss, opts)
+}
+
+// Re-exported serving-layer types.
+type (
+	// QueryServer is the HTTP/JSON serving layer over an engine: a worker
+	// pool with backpressure and per-request deadlines multiplexes
+	// concurrent clients onto the bounded executor, and an epoch-keyed
+	// result cache serves hot queries without re-execution — never stale,
+	// because live writes change the cache key (the snapshot epoch) rather
+	// than racing an invalidation. Endpoints: /query, /prepare, /ingest,
+	// /stats, /healthz. See cmd/bqserve and examples/serving.
+	QueryServer = serve.Server
+	// ServeOptions tunes the worker pool, queue bound, default deadline,
+	// result cache, and the ingest/metrics wiring.
+	ServeOptions = serve.Options
+	// ServeCacheStats is the result cache's hit/miss counter snapshot.
+	ServeCacheStats = serve.CacheStats
+	// StoreMetrics is the observability surface /stats reads; Database,
+	// LiveDatabase and ShardedDatabase all satisfy it.
+	StoreMetrics = serve.StoreMetrics
+)
+
+// NewQueryServer builds the serving layer over an engine. Wire
+// ServeOptions.Ingest to the live or sharded store's Apply to enable
+// /ingest, and ServeOptions.Metrics to the store for /stats.
+func NewQueryServer(eng *Engine, opts ServeOptions) (*QueryServer, error) {
+	return serve.New(eng, opts)
 }
 
 // BaselineResult is a full-data evaluation answer.

@@ -1,0 +1,183 @@
+// Command bqserve serves bounded-query answers over HTTP: it builds one
+// of the built-in datasets, wraps it in a live (or sharded) store and a
+// prepared-query engine, and exposes the serving layer's JSON endpoints
+// — /query, /prepare, /ingest, /stats, /healthz.
+//
+// Usage:
+//
+//	bqserve -dataset social -scale 0.25 -addr :8080
+//	bqserve -dataset tfacc -scale 0.5 -shards 4 -parallel 4 -workers 32
+//
+// Quickstart against a running server:
+//
+//	curl -s localhost:8080/query -d '{
+//	  "query": "select photo_id from in_album where album_id = ?",
+//	  "args": [3]
+//	}'
+//	curl -s localhost:8080/ingest -d '{
+//	  "ops": [{"op": "insert", "rel": "friends", "tuple": [1, 2]}]
+//	}'
+//	curl -s localhost:8080/stats
+//
+// Hot queries are answered from an epoch-keyed result cache: live writes
+// publish a new snapshot epoch, which changes the cache key, so cached
+// answers are never stale. The worker pool bounds concurrent executions
+// (-workers), queues up to -queue requests beyond that, rejects the rest
+// with 503, and enforces a per-request deadline (-timeout, or the
+// request's timeout_ms).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"bcq/internal/datagen"
+	"bcq/internal/engine"
+	"bcq/internal/live"
+	"bcq/internal/serve"
+	"bcq/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataset := flag.String("dataset", "social", "dataset: social | tfacc | mot | tpch")
+	scale := flag.Float64("scale", 0.25, "scale factor")
+	shards := flag.Int("shards", 1, "partition the store into P shards (1 = single live store)")
+	parallel := flag.Int("parallel", 1, "bounded-executor probe workers per query")
+	workers := flag.Int("workers", 0, "concurrently executing requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max queued requests beyond the workers (0 = 8 x workers)")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline")
+	cacheSize := flag.Int("cache", serve.DefaultResultCacheSize, "result cache entries (negative disables)")
+	flag.Parse()
+
+	srv, info, err := buildServer(config{
+		dataset:   *dataset,
+		scale:     *scale,
+		shards:    *shards,
+		parallel:  *parallel,
+		workers:   *workers,
+		queue:     *queue,
+		timeout:   *timeout,
+		cacheSize: *cacheSize,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bqserve:", err)
+		os.Exit(1)
+	}
+	fmt.Println(info)
+	fmt.Printf("listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "bqserve:", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the validated flag set.
+type config struct {
+	dataset   string
+	scale     float64
+	shards    int
+	parallel  int
+	workers   int
+	queue     int
+	timeout   time.Duration
+	cacheSize int
+}
+
+func (c config) validate() error {
+	if c.scale <= 0 {
+		return fmt.Errorf("-scale %g: scale factor must be > 0", c.scale)
+	}
+	if c.shards < 1 {
+		return fmt.Errorf("-shards %d: shard count must be ≥ 1", c.shards)
+	}
+	if c.parallel < 1 {
+		return fmt.Errorf("-parallel %d: probe worker count must be ≥ 1", c.parallel)
+	}
+	if c.workers < 0 || c.queue < 0 {
+		return fmt.Errorf("-workers/-queue must be ≥ 0")
+	}
+	return nil
+}
+
+func pickDataset(name string) (*datagen.Dataset, error) {
+	switch name {
+	case "social":
+		return datagen.Social(), nil
+	case "tfacc":
+		return datagen.TFACC(), nil
+	case "mot":
+		return datagen.MOT(), nil
+	case "tpch":
+		return datagen.TPCH(), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+// buildServer assembles dataset → store → engine → server, returning a
+// one-line description of what is being served.
+func buildServer(c config) (*serve.Server, string, error) {
+	if err := c.validate(); err != nil {
+		return nil, "", err
+	}
+	ds, err := pickDataset(c.dataset)
+	if err != nil {
+		return nil, "", err
+	}
+	db, err := ds.Build(c.scale)
+	if err != nil {
+		return nil, "", err
+	}
+
+	opts := serve.Options{
+		Workers:         c.workers,
+		MaxQueue:        c.queue,
+		DefaultTimeout:  c.timeout,
+		ResultCacheSize: c.cacheSize,
+	}
+	engOpts := engine.Options{Parallelism: c.parallel}
+
+	var (
+		eng  *engine.Engine
+		kind string
+	)
+	if c.shards > 1 {
+		ss, err := shard.New(db, ds.Access, shard.Options{Shards: c.shards})
+		if err != nil {
+			return nil, "", err
+		}
+		eng, err = engine.NewSharded(ss, engOpts)
+		if err != nil {
+			return nil, "", err
+		}
+		opts.Ingest = ss.Apply
+		opts.Metrics = ss
+		kind = fmt.Sprintf("sharded store (P=%d)", c.shards)
+	} else {
+		ls, err := live.New(db, ds.Access, live.Options{})
+		if err != nil {
+			return nil, "", err
+		}
+		eng, err = engine.NewLive(ls, engOpts)
+		if err != nil {
+			return nil, "", err
+		}
+		opts.Ingest = func(ops []live.Op) error {
+			_, err := ls.Apply(ops)
+			return err
+		}
+		opts.Metrics = ls
+		kind = "live store"
+	}
+	srv, err := serve.New(eng, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	info := fmt.Sprintf("serving %s at scale %g over a %s: |D| = %d tuples, %d access constraints",
+		ds.Name, c.scale, kind, db.NumTuples(), ds.Access.Size())
+	return srv, info, nil
+}

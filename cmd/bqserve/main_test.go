@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBuildAndServeSmoke stands the server up over the small social
+// dataset (live and sharded) and exercises every endpoint once.
+func TestBuildAndServeSmoke(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		srv, info, err := buildServer(config{
+			dataset: "social", scale: 1.0 / 32, shards: shards, parallel: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(strings.ToLower(info), "social") {
+			t.Errorf("info %q does not name the dataset", info)
+		}
+		hs := httptest.NewServer(srv.Handler())
+
+		code, body := postJSON(t, hs.URL+"/query",
+			`{"query": "select photo_id from in_album where album_id = ?", "args": [1]}`)
+		if code != http.StatusOK {
+			t.Fatalf("shards=%d /query: status %d: %s", shards, code, body)
+		}
+		var env struct {
+			Epoch  string          `json:"epoch"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal([]byte(body), &env); err != nil || env.Epoch == "" {
+			t.Fatalf("shards=%d /query response %s undecodable (%v)", shards, body, err)
+		}
+
+		code, body = postJSON(t, hs.URL+"/ingest",
+			`{"ops": [{"op": "insert", "rel": "friends", "tuple": [1, 2]}]}`)
+		if code != http.StatusOK {
+			t.Fatalf("shards=%d /ingest: status %d: %s", shards, code, body)
+		}
+
+		for _, path := range []string{"/stats", "/healthz"} {
+			resp, err := http.Get(hs.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("shards=%d %s: status %d", shards, path, resp.StatusCode)
+			}
+		}
+		hs.Close()
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []config{
+		{dataset: "social", scale: 0},
+		{dataset: "social", scale: 1, shards: 0},
+		{dataset: "social", scale: 1, shards: 1, parallel: 0},
+		{dataset: "nope", scale: 1, shards: 1, parallel: 1},
+	}
+	for _, c := range bad {
+		if _, _, err := buildServer(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}

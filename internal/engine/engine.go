@@ -29,6 +29,7 @@ import (
 
 	"bcq/internal/exec"
 	"bcq/internal/live"
+	"bcq/internal/lru"
 	"bcq/internal/schema"
 	"bcq/internal/shard"
 	"bcq/internal/spc"
@@ -41,25 +42,58 @@ import (
 // every execution pins one immutable epoch — readers never block
 // writers, and per-result access statistics stay exact under concurrent
 // ingest.
+//
+// A source also reports the access schema queries are analyzed under
+// and a monotone schema version that advances whenever the schema may
+// have changed. Preparation reads both; cached preparation errors are
+// tagged with the version and retried once it has advanced (a live
+// ExtendAccess can make a previously rejected shape answerable). Data
+// epochs deliberately do not advance it: a boundedness verdict depends
+// only on (query, schema), so ingest churn must not defeat the error
+// cache.
 type Source interface {
 	View() exec.Store
+	// Access is the current access schema (live stores can extend it).
+	Access() *schema.AccessSchema
+	// Version is a monotone counter that advances on every schema
+	// change. Implementations must publish the new schema before
+	// advancing it, so a version-then-schema reader can never pair the
+	// new version with the old schema.
+	Version() uint64
+	// EpochKey renders the store's current data version for display
+	// (/stats, /healthz) without pinning a view. Not a cache key — use
+	// the pinned view's own EpochKey for that.
+	EpochKey() string
 }
 
-// dbSource serves a sealed database forever.
-type dbSource struct{ db *storage.Database }
+// dbSource serves a sealed database forever: constant data, constant
+// schema, version 0.
+type dbSource struct {
+	db  *storage.Database
+	acc *schema.AccessSchema
+}
 
-func (s dbSource) View() exec.Store { return s.db }
+func (s dbSource) View() exec.Store             { return s.db }
+func (s dbSource) Access() *schema.AccessSchema { return s.acc }
+func (s dbSource) Version() uint64              { return 0 }
+func (s dbSource) EpochKey() string             { return s.db.EpochKey() }
 
 // liveSource pins the live store's current epoch per evaluation.
 type liveSource struct{ ls *live.Store }
 
-func (s liveSource) View() exec.Store { return s.ls.Snapshot() }
+func (s liveSource) View() exec.Store             { return s.ls.Snapshot() }
+func (s liveSource) Access() *schema.AccessSchema { return s.ls.Access() }
+func (s liveSource) Version() uint64              { return s.ls.SchemaVersion() }
+func (s liveSource) EpochKey() string             { return s.ls.EpochKey() }
 
 // shardSource pins a consistent epoch vector across every shard per
 // evaluation.
 type shardSource struct{ ss *shard.Store }
 
-func (s shardSource) View() exec.Store { return s.ss.View() }
+func (s shardSource) View() exec.Store             { return s.ss.View() }
+func (s shardSource) Access() *schema.AccessSchema { return s.ss.Access() }
+func (s shardSource) Version() uint64              { return s.ss.SchemaVersion() }
+func (s shardSource) EpochKey() string             { return s.ss.EpochKey() }
 
 // Options tunes an engine.
 type Options struct {
@@ -84,8 +118,13 @@ type Stats struct {
 	CacheHits int64
 	// CacheMisses counts prepares that ran the analyze→plan pipeline.
 	CacheMisses int64
-	// Evictions counts plan-cache entries displaced by the LRU policy.
+	// Evictions counts plan-cache entries (successful plans) displaced by
+	// the LRU policy. Error entries live in their own cache and never
+	// displace plans; their evictions are not counted.
 	Evictions int64
+	// StaleRetries counts prepares that re-ran the analysis because the
+	// cached error predated the store's current schema/epoch version.
+	StaleRetries int64
 	// Execs counts Prepared.Exec calls.
 	Execs int64
 }
@@ -97,30 +136,44 @@ type Stats struct {
 // contract.
 type Engine struct {
 	cat *schema.Catalog
-	acc *schema.AccessSchema
 	// db is the sealed base database (for a live engine, the base the
-	// live store grew from); src is what executions actually read.
+	// live store grew from); src is what executions actually read — and
+	// where the current access schema and version come from.
 	db  *storage.Database
 	src Source
 	exe *exec.Executor
 
-	mu     sync.Mutex
-	cache  *lruCache
+	mu sync.Mutex
+	// cache holds successful plans; errs holds preparation errors, each
+	// tagged with the source version it was observed at. Separate caches
+	// so a burst of failing shapes can never displace hot valid plans.
+	cache  *lru.Cache[*cacheEntry]
+	errs   *lru.Cache[*cacheEntry]
 	flight map[string]*inflight
 
-	prepares  atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
-	execs     atomic.Int64
+	// buildHook, when set (tests only), runs at the start of every
+	// analyze→plan pipeline, outside the engine mutex — the observation
+	// point proving that preparations of distinct fingerprints overlap.
+	buildHook func(fp string)
+
+	prepares     atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	evictions    atomic.Int64
+	staleRetries atomic.Int64
+	execs        atomic.Int64
 }
 
 // inflight is a preparation in progress; concurrent prepares of the same
-// fingerprint wait on it instead of planning again.
+// fingerprint wait on it instead of planning again. version is the
+// source version the builder observed: a waiter that observed a newer
+// one re-runs the sequence on failure rather than adopting a verdict
+// that may predate a schema extension.
 type inflight struct {
-	done chan struct{}
-	prep *Prepared
-	err  error
+	done    chan struct{}
+	version uint64
+	prep    *Prepared
+	err     error
 }
 
 // New builds an engine over a loaded database. It verifies the access
@@ -137,7 +190,7 @@ func New(cat *schema.Catalog, acc *schema.AccessSchema, db *storage.Database, op
 	if err := db.EnsureIndexes(acc); err != nil {
 		return nil, fmt.Errorf("engine: indexing database: %w", err)
 	}
-	return assemble(cat, acc, db, dbSource{db}, opts), nil
+	return assemble(cat, db, dbSource{db: db, acc: acc}, opts), nil
 }
 
 // NewLive builds an engine over a live store: executions pin the store's
@@ -149,7 +202,7 @@ func NewLive(ls *live.Store, opts Options) (*Engine, error) {
 	if ls == nil {
 		return nil, fmt.Errorf("engine: live store is required")
 	}
-	return assemble(ls.Catalog(), ls.Access(), ls.Base(), liveSource{ls}, opts), nil
+	return assemble(ls.Catalog(), ls.Base(), liveSource{ls}, opts), nil
 }
 
 // NewSharded builds an engine over a sharded store: every execution pins
@@ -166,22 +219,22 @@ func NewSharded(ss *shard.Store, opts Options) (*Engine, error) {
 	if ss == nil {
 		return nil, fmt.Errorf("engine: sharded store is required")
 	}
-	return assemble(ss.Catalog(), ss.Access(), ss.Base(), shardSource{ss}, opts), nil
+	return assemble(ss.Catalog(), ss.Base(), shardSource{ss}, opts), nil
 }
 
 // assemble wires the shared engine internals.
-func assemble(cat *schema.Catalog, acc *schema.AccessSchema, db *storage.Database, src Source, opts Options) *Engine {
+func assemble(cat *schema.Catalog, db *storage.Database, src Source, opts Options) *Engine {
 	size := opts.PlanCacheSize
 	if size <= 0 {
 		size = DefaultPlanCacheSize
 	}
 	return &Engine{
 		cat:    cat,
-		acc:    acc,
 		db:     db,
 		src:    src,
 		exe:    exec.New(opts.Parallelism),
-		cache:  newLRUCache(size),
+		cache:  lru.New[*cacheEntry](size),
+		errs:   lru.New[*cacheEntry](size),
 		flight: make(map[string]*inflight),
 	}
 }
@@ -189,8 +242,9 @@ func assemble(cat *schema.Catalog, acc *schema.AccessSchema, db *storage.Databas
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *schema.Catalog { return e.cat }
 
-// Access returns the engine's access schema.
-func (e *Engine) Access() *schema.AccessSchema { return e.acc }
+// Access returns the engine's current access schema (for a live or
+// sharded engine, reflecting any runtime ExtendAccess).
+func (e *Engine) Access() *schema.AccessSchema { return e.src.Access() }
 
 // Database returns the engine's sealed base database. For a live engine
 // this is the base the live store grew from, not the current epoch; use
@@ -203,14 +257,20 @@ func (e *Engine) Database() *storage.Database { return e.db }
 // pass it to Prepared.ExecOn.
 func (e *Engine) View() exec.Store { return e.src.View() }
 
+// EpochKey renders the store's current data version for display,
+// without pinning a view (on a sharded store, without excluding
+// writers). Cache keys must come from a pinned view instead.
+func (e *Engine) EpochKey() string { return e.src.EpochKey() }
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Prepares:    e.prepares.Load(),
-		CacheHits:   e.hits.Load(),
-		CacheMisses: e.misses.Load(),
-		Evictions:   e.evictions.Load(),
-		Execs:       e.execs.Load(),
+		Prepares:     e.prepares.Load(),
+		CacheHits:    e.hits.Load(),
+		CacheMisses:  e.misses.Load(),
+		Evictions:    e.evictions.Load(),
+		StaleRetries: e.staleRetries.Load(),
+		Execs:        e.execs.Load(),
 	}
 }
 
@@ -218,7 +278,7 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) CacheLen() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.cache.len()
+	return e.cache.Len()
 }
 
 // Prepare parses a query text and returns its prepared form, planning it
@@ -254,40 +314,79 @@ func (e *Engine) Exec(text string, args ...value.Value) (*exec.Result, error) {
 }
 
 // prepare serves a validated query from the plan cache, planning it at
-// most once per fingerprint.
+// most once per fingerprint per schema/epoch version. Successful plans
+// are cached forever (live admission keeps them sound across epochs);
+// errors are cached tagged with the source version and retried once the
+// version advances — ingest, compaction or a schema extension may have
+// made the shape answerable. The engine mutex is never held across the
+// boundedness analysis: concurrent prepares of distinct fingerprints
+// overlap, and same-fingerprint prepares coalesce on one in-flight
+// analysis.
 func (e *Engine) prepare(q *spc.Query) (*Prepared, error) {
 	e.prepares.Add(1)
 	fp := fingerprint(q)
 
-	e.mu.Lock()
-	if ent, ok := e.cache.get(fp); ok {
+	for {
+		// Read the version before the schema: if an extension lands between
+		// the two reads, the entry is tagged with the older version and at
+		// worst retried once more — a stale error can never be tagged fresh.
+		ver := e.src.Version()
+		acc := e.src.Access()
+
+		e.mu.Lock()
+		if ent, ok := e.cache.Get(fp); ok {
+			e.mu.Unlock()
+			e.hits.Add(1)
+			return ent.prep, nil
+		}
+		if ent, ok := e.errs.Get(fp); ok {
+			if ent.version >= ver {
+				e.mu.Unlock()
+				e.hits.Add(1)
+				return nil, ent.err
+			}
+			// The store moved past the cached verdict: drop it and re-analyze.
+			e.errs.Remove(fp)
+			e.staleRetries.Add(1)
+		}
+		if fl, ok := e.flight[fp]; ok {
+			e.mu.Unlock()
+			<-fl.done
+			if fl.err != nil && ver > fl.version {
+				// The build we joined began before the version we observed;
+				// its failure may predate a schema extension. Re-run the
+				// sequence — the stale entry it cached is behind our version,
+				// so the retry falls through to a fresh analysis.
+				continue
+			}
+			e.hits.Add(1)
+			return fl.prep, fl.err
+		}
+		fl := &inflight{done: make(chan struct{}), version: ver}
+		e.flight[fp] = fl
 		e.mu.Unlock()
-		e.hits.Add(1)
-		return ent.prep, ent.err
-	}
-	if fl, ok := e.flight[fp]; ok {
+
+		e.misses.Add(1)
+		if h := e.buildHook; h != nil {
+			h(fp)
+		}
+		prep, err := e.build(q, acc)
+
+		e.mu.Lock()
+		if err == nil {
+			if e.cache.Put(fp, &cacheEntry{prep: prep}) {
+				e.evictions.Add(1)
+			}
+		} else {
+			e.errs.Put(fp, &cacheEntry{err: err, version: ver})
+		}
+		delete(e.flight, fp)
 		e.mu.Unlock()
-		<-fl.done
-		e.hits.Add(1)
-		return fl.prep, fl.err
+
+		fl.prep, fl.err = prep, err
+		close(fl.done)
+		return prep, err
 	}
-	fl := &inflight{done: make(chan struct{})}
-	e.flight[fp] = fl
-	e.mu.Unlock()
-
-	e.misses.Add(1)
-	prep, err := e.build(q)
-
-	e.mu.Lock()
-	if e.cache.put(&cacheEntry{fp: fp, prep: prep, err: err}) {
-		e.evictions.Add(1)
-	}
-	delete(e.flight, fp)
-	e.mu.Unlock()
-
-	fl.prep, fl.err = prep, err
-	close(fl.done)
-	return prep, err
 }
 
 // fingerprint normalizes a validated query to its cache key: the

@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"bcq/internal/live"
+	"bcq/internal/schema"
+	"bcq/internal/shard"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// evoScene builds a live store over relation r(a, b) with NO access
+// constraints, holding one base tuple (1, 10): the starting point where
+// `select b from r where a = ?`-style shapes are not effectively
+// bounded, until ExtendAccess grants r: (a) -> (b, N).
+func evoScene(t *testing.T) (*live.Store, *Engine) {
+	t.Helper()
+	r, err := schema.NewRelation("r", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := schema.NewCatalog(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := schema.NewAccessSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat)
+	if err := db.Insert("r", value.Tuple{value.Int(1), value.Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := live.New(db, acc, live.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewLive(ls, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls, e
+}
+
+const evoQuery = `select b from r where a = 1`
+
+// TestStaleErrorInvalidatedBySchemaExtension is the sticky-plan-cache
+// regression test: a shape rejected as not effectively bounded must be
+// served from the error cache while the schema is unchanged — ingest
+// churn must NOT defeat the cache, because the verdict depends only on
+// (query, schema) — and succeed, serving the ingested data, once
+// ExtendAccess makes it answerable.
+func TestStaleErrorInvalidatedBySchemaExtension(t *testing.T) {
+	ls, e := evoScene(t)
+
+	if _, err := e.Prepare(evoQuery); err == nil {
+		t.Fatal("query prepared without any access constraint on r")
+	}
+	// Unchanged store: the failure is served from cache.
+	if _, err := e.Prepare(evoQuery); err == nil {
+		t.Fatal("cached failure not served")
+	}
+	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 1 || st.StaleRetries != 0 {
+		t.Fatalf("before any change: stats = %+v, want 1 miss, 1 hit, 0 stale retries", st)
+	}
+
+	// Ingest advances the data epoch but not the schema version: the
+	// cached rejection keeps being served without re-analysis.
+	if err := ls.Insert("r", value.Tuple{value.Int(1), value.Int(20)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Prepare(evoQuery); err == nil {
+		t.Fatal("query prepared while the schema still grants no access path")
+	}
+	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 2 || st.StaleRetries != 0 {
+		t.Fatalf("after ingest: stats = %+v, want the cached rejection (1 miss, 2 hits, 0 retries)", st)
+	}
+
+	// The extension makes the shape answerable; the cached error must not
+	// survive it.
+	ac, err := schema.NewAccessConstraint("r", []string{"a"}, []string{"b"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.ExtendAccess(ac); err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Prepare(evoQuery)
+	if err != nil {
+		t.Fatalf("still rejected after the extension made it answerable: %v", err)
+	}
+	res, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, tp := range res.Tuples {
+		got = append(got, tp.String())
+	}
+	if len(res.Tuples) != 2 || res.Tuples[0][0] != value.Int(10) || res.Tuples[1][0] != value.Int(20) {
+		t.Fatalf("answers = %v, want the base and the ingested tuple (10, 20)", got)
+	}
+	if st := e.Stats(); st.CacheMisses != 2 || st.StaleRetries != 1 {
+		t.Errorf("stats = %+v, want 2 misses and 1 stale retry", st)
+	}
+
+	// The success is cached normally from here on.
+	if _, err := e.Prepare(evoQuery); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheMisses != 2 {
+		t.Errorf("stats = %+v: success must be served from cache", st)
+	}
+}
+
+// TestStaleErrorInvalidatedOnShardedStore runs the same regression
+// through the sharded engine: the epoch-sum version and the
+// shard-consistent ExtendAccess must invalidate the cached rejection.
+func TestStaleErrorInvalidatedOnShardedStore(t *testing.T) {
+	r, _ := schema.NewRelation("part", "k", "v", "w")
+	cat, _ := schema.NewCatalog(r)
+	acc := schema.MustAccessSchema(
+		schema.MustAccessConstraint("part", []string{"k"}, []string{"v"}, 100),
+	)
+	db := storage.NewDatabase(cat)
+	for i := 0; i < 8; i++ {
+		t3 := value.Tuple{value.Int(int64(i)), value.Int(int64(100 + i)), value.Int(int64(200 + i))}
+		if err := db.Insert("part", t3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, err := shard.New(db, acc, shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSharded(ss, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (v) -> (k) is not granted, so lookup-by-v is rejected.
+	const byV = `select k from part where v = 103`
+	if _, err := e.Prepare(byV); err == nil {
+		t.Fatal("query prepared without a (v) access path")
+	}
+	ac := schema.MustAccessConstraint("part", []string{"k", "v"}, []string{"w"}, 1)
+	if err := ss.ExtendAccess(ac); err != nil {
+		t.Fatal(err)
+	}
+	// (k, v) -> (w) alone doesn't bound lookup-by-v either — but the
+	// retry must happen (version advanced) rather than the stale verdict.
+	if _, err := e.Prepare(byV); err == nil {
+		t.Fatal("(k, v) -> (w) cannot bound a lookup by v alone")
+	}
+	if st := e.Stats(); st.StaleRetries != 1 {
+		t.Fatalf("stats = %+v, want 1 stale retry", st)
+	}
+}
+
+// TestConcurrentDistinctPreparesOverlap proves the engine mutex is not
+// held across the boundedness analysis: two prepares of distinct
+// fingerprints must both reach their build concurrently. If preparation
+// serialized under the engine mutex, the first build would block the
+// second from starting and the barrier below would time out.
+func TestConcurrentDistinctPreparesOverlap(t *testing.T) {
+	_, _, e := socialEngine(t, Options{})
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	e.buildHook = func(fp string) {
+		started <- fp
+		<-release
+	}
+
+	queries := []string{
+		`select photo_id from in_album where album_id = 0`,
+		`select friend_id from friends where user_id = 1`,
+	}
+	errs := make(chan error, len(queries))
+	for _, q := range queries {
+		go func(q string) {
+			_, err := e.Prepare(q)
+			errs <- err
+		}(q)
+	}
+	for i := 0; i < len(queries); i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d distinct preparations started: analysis is serialized", i, len(queries))
+		}
+	}
+	close(release)
+	for range queries {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSameFingerprintPreparesAnalyzeOnce pins the singleflight behavior
+// deterministically: while one preparation of a shape is in flight,
+// further prepares of the same shape wait for it instead of analyzing
+// again.
+func TestSameFingerprintPreparesAnalyzeOnce(t *testing.T) {
+	_, _, e := socialEngine(t, Options{})
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	e.buildHook = func(string) {
+		close(inBuild)
+		<-release
+	}
+
+	const q = `select photo_id from in_album where album_id = 0`
+	first := make(chan error, 1)
+	go func() {
+		_, err := e.Prepare(q)
+		first <- err
+	}()
+	select {
+	case <-inBuild:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first preparation never reached its build")
+	}
+
+	const waiters = 8
+	rest := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := e.Prepare(q)
+			rest <- err
+		}()
+	}
+	// The waiters coalesce on the in-flight build; give them a moment to
+	// reach it, then release. A second build would panic on the closed
+	// channel — itself a failure signal.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < waiters; i++ {
+		if err := <-rest; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != waiters {
+		t.Errorf("stats = %+v, want 1 miss and %d hits", st, waiters)
+	}
+}
+
+// TestErrorEntriesDoNotEvictPlans saturates the cache with failing
+// shapes and checks that hot valid plans survive: errors live in their
+// own cache and never displace plans.
+func TestErrorEntriesDoNotEvictPlans(t *testing.T) {
+	_, _, e := socialEngine(t, Options{PlanCacheSize: 2})
+	valid := []string{
+		`select photo_id from in_album where album_id = 0`,
+		`select friend_id from friends where user_id = 0`,
+	}
+	for _, q := range valid {
+		if _, err := e.Prepare(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Far more failing shapes than the cache holds. Each projects a
+	// distinct unconstrained column set, so every fingerprint differs.
+	for i := 0; i < 10; i++ {
+		q := fmt.Sprintf(`select photo_id from in_album where photo_id = %d`, i)
+		if _, err := e.Prepare(q); err == nil {
+			t.Fatalf("unbounded shape %d prepared", i)
+		}
+	}
+	before := e.Stats()
+	if e.CacheLen() != 2 {
+		t.Errorf("plan cache holds %d entries, want the 2 valid plans", e.CacheLen())
+	}
+	for _, q := range valid {
+		if _, err := e.Prepare(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Stats()
+	if after.CacheMisses != before.CacheMisses {
+		t.Errorf("valid plans were evicted by error entries: misses went %d -> %d",
+			before.CacheMisses, after.CacheMisses)
+	}
+	if after.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0 (errors must not displace plans)", after.Evictions)
+	}
+}
+
+// TestSealedEngineErrorsStaySticky: over a sealed database nothing can
+// change, so cached failures are served from cache forever — the version
+// check must not regress the old behavior.
+func TestSealedEngineErrorsStaySticky(t *testing.T) {
+	_, _, e := socialEngine(t, Options{})
+	const unbounded = `select photo_id from in_album`
+	for i := 0; i < 3; i++ {
+		if _, err := e.Prepare(unbounded); err == nil {
+			t.Fatal("unbounded query prepared")
+		}
+	}
+	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 2 || st.StaleRetries != 0 {
+		t.Errorf("stats = %+v, want 1 miss, 2 hits, 0 stale retries", st)
+	}
+}
+
+// TestExtensionViolationLeavesStoreUnchanged: an extension whose bound
+// the live data already violates must fail atomically.
+func TestExtensionViolationLeavesStoreUnchanged(t *testing.T) {
+	ls, e := evoScene(t)
+	if err := ls.Insert("r", value.Tuple{value.Int(1), value.Int(20)}); err != nil {
+		t.Fatal(err)
+	}
+	// a=1 has two distinct b values; N=1 cannot be granted.
+	tight := schema.MustAccessConstraint("r", []string{"a"}, []string{"b"}, 1)
+	err := ls.ExtendAccess(tight)
+	var verr *storage.ViolationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("got %v, want a *storage.ViolationError", err)
+	}
+	if ls.Access().Size() != 0 {
+		t.Errorf("failed extension left %d constraints in the schema", ls.Access().Size())
+	}
+	if _, err := e.Prepare(evoQuery); err == nil {
+		t.Error("query prepared although the extension failed")
+	}
+}

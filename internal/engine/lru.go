@@ -1,52 +1,23 @@
 package engine
 
-import "container/list"
-
-// cacheEntry is one plan-cache slot: a successfully prepared query, or
-// the sticky preparation error (caching failures means a hot query that
-// is not effectively bounded is rejected without re-running the analysis).
+// cacheEntry is one plan-cache slot: a successfully prepared query, or a
+// preparation error tagged with the store version it was observed at.
+//
+// The engine keeps successes and failures in two separate LRUs
+// (internal/lru instances, serialized under the engine mutex).
+// Successful plans are sound forever — the live layers keep D |= A
+// invariant, so no epoch advance can invalidate them — and must not be
+// displaced by a burst of failing query shapes. Errors are soft state:
+// caching one saves re-running the boundedness analysis for a hot
+// rejected shape, but the verdict can flip when the store's
+// schema/epoch version advances (an ExtendAccess making the shape
+// answerable), so an error entry is served only while the store version
+// has not moved past the tagged one.
 type cacheEntry struct {
-	fp   string
 	prep *Prepared
 	err  error
+	// version is the engine source's version when the (failed)
+	// preparation began; err entries whose version is behind the current
+	// source version are stale and must be retried, never served.
+	version uint64
 }
-
-// lruCache is a plain LRU over query fingerprints. It is not safe for
-// concurrent use; the engine serializes access under its mutex.
-type lruCache struct {
-	cap   int
-	order *list.List               // front = most recently used
-	byFP  map[string]*list.Element // value: *cacheEntry
-}
-
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, order: list.New(), byFP: make(map[string]*list.Element, capacity)}
-}
-
-func (c *lruCache) get(fp string) (*cacheEntry, bool) {
-	el, ok := c.byFP[fp]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry), true
-}
-
-// put inserts an entry, returning whether an older entry was evicted.
-func (c *lruCache) put(ent *cacheEntry) (evicted bool) {
-	if el, ok := c.byFP[ent.fp]; ok {
-		el.Value = ent
-		c.order.MoveToFront(el)
-		return false
-	}
-	c.byFP[ent.fp] = c.order.PushFront(ent)
-	if c.order.Len() <= c.cap {
-		return false
-	}
-	oldest := c.order.Back()
-	c.order.Remove(oldest)
-	delete(c.byFP, oldest.Value.(*cacheEntry).fp)
-	return true
-}
-
-func (c *lruCache) len() int { return c.order.Len() }

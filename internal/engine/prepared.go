@@ -8,6 +8,7 @@ import (
 	"bcq/internal/deduce"
 	"bcq/internal/exec"
 	"bcq/internal/plan"
+	"bcq/internal/schema"
 	"bcq/internal/spc"
 	"bcq/internal/value"
 )
@@ -49,8 +50,10 @@ type paramSlot struct {
 }
 
 // build runs the one-time preparation pipeline: sentinel instantiation
-// (for templates), analysis and planning.
-func (e *Engine) build(q *spc.Query) (*Prepared, error) {
+// (for templates), analysis and planning. The access schema is passed in
+// by prepare, which read it together with the source version — the pair
+// that tags a cached failure for later invalidation.
+func (e *Engine) build(q *spc.Query, acc *schema.AccessSchema) (*Prepared, error) {
 	inst := q
 	var slots []paramSlot
 	if len(q.Placeholders) > 0 {
@@ -78,7 +81,7 @@ func (e *Engine) build(q *spc.Query) (*Prepared, error) {
 		inst = q.Instantiate(bindings)
 	}
 
-	an, err := core.NewAnalysis(e.cat, inst, e.acc)
+	an, err := core.NewAnalysis(e.cat, inst, acc)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,198 @@
+package live
+
+import (
+	"fmt"
+
+	"bcq/internal/schema"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// ExtendAccess widens the store's access schema with one more constraint
+// X → (Y, N) at runtime: the schema evolution path that can turn a query
+// the engine rejected as not effectively bounded into an answerable one
+// without rebuilding the store.
+//
+// The extension is checked before it is published: every live (X, Y)
+// pair of the relation is scanned (one pass over the live data — the
+// same cost class as building the index offline) and a group that
+// already exceeds N fails the call with a *storage.ViolationError,
+// leaving the store untouched. On success the constraint's complete
+// group map is published as the overlay diff of a fresh epoch — the
+// sealed base has no index for the new constraint, so every lookup
+// resolves in the overlay, which by construction reflects exactly the
+// live data (base minus tombstones plus insertions).
+//
+// Snapshots pinned before the extension keep the schema of their epoch:
+// they neither serve the new constraint (Fetch reports it unmaintained)
+// nor break, because each snapshot carries its own binding map. The
+// published epoch advances the store's Version, which is what lets the
+// engine retry cached preparation errors.
+//
+// Extending with a constraint already in the schema is a no-op.
+func (st *Store) ExtendAccess(ac schema.AccessConstraint) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ext, err := st.buildExtension(ac)
+	if err != nil || ext == nil {
+		return err
+	}
+	return st.publishExtension(ac, ext)
+}
+
+// StageExtension validates an extension and returns it ready to
+// publish, without changing any state — or (nil, nil) when the
+// constraint is already maintained. Commit publishes it, provided the
+// store has not advanced in between. The sharded store uses the pair
+// to validate every shard before committing any, paying the live-data
+// scan once instead of twice.
+func (st *Store) StageExtension(ac schema.AccessConstraint) (*StagedExtension, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ext, err := st.buildExtension(ac)
+	if err != nil || ext == nil {
+		return nil, err
+	}
+	return &StagedExtension{st: st, ac: ac, ext: ext, epoch: st.cur.Load().epoch}, nil
+}
+
+// StagedExtension is a validated, not-yet-published schema extension.
+type StagedExtension struct {
+	st    *Store
+	ac    schema.AccessConstraint
+	ext   *extension
+	epoch uint64
+}
+
+// Commit publishes the staged extension. It fails — without changing
+// state — when the store has advanced past the epoch the extension was
+// validated at (the scan's verdict could be stale); re-stage in that
+// case. Callers that exclude writers for the stage-commit span (the
+// sharded store) cannot hit that failure.
+func (se *StagedExtension) Commit() error {
+	st := se.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cur := st.cur.Load(); cur.epoch != se.epoch {
+		return fmt.Errorf("live: store advanced from epoch %d to %d since the extension was staged; stage it again", se.epoch, cur.epoch)
+	}
+	if _, ok := st.byKey[se.ac.Key()]; ok {
+		return nil
+	}
+	return st.publishExtension(se.ac, se.ext)
+}
+
+// publishExtension installs a validated extension as the next epoch.
+// Called under mu.
+func (st *Store) publishExtension(ac schema.AccessConstraint, ext *extension) error {
+	cs := append([]schema.AccessConstraint{}, st.acc.Load().Constraints()...)
+	newAcc, err := schema.NewAccessSchema(append(cs, ac)...)
+	if err != nil {
+		return fmt.Errorf("live: extending access schema: %w", err)
+	}
+	newByKey := make(map[string]acBinding, len(st.byKey)+1)
+	for k, b := range st.byKey {
+		newByKey[k] = b
+	}
+	newByKey[ext.bind.key] = ext.bind
+
+	cur := st.cur.Load()
+	next := &Snapshot{
+		st:        st,
+		base:      cur.base,
+		epoch:     cur.epoch + 1,
+		added:     cur.added,
+		size:      cur.size,
+		numTuples: cur.numTuples,
+		binds:     newByKey,
+		acc:       newAcc,
+	}
+	gdiff := map[string]map[string][]storage.IndexEntry{ext.bind.key: ext.groups}
+	if cur.depth+1 > maxChainDepth {
+		next.groups, next.delDiff = flattenDiffs(cur, gdiff, nil)
+		st.flattens.Add(1)
+	} else {
+		next.groups = gdiff
+		next.parent = cur
+		next.depth = cur.depth + 1
+	}
+
+	st.byKey = newByKey
+	st.byRel[ac.Rel] = append(st.byRel[ac.Rel], ext.bind)
+	st.pairs[ext.bind.key] = ext.pairs
+	// Publication order matters twice over. The snapshot goes first: a
+	// reader that saw the new schema and planned with the new constraint
+	// must find the constraint's binds in whatever snapshot it pins next
+	// (binds only grow, so the converse — an old-schema plan on the new
+	// snapshot — is always safe). The schema goes before the version
+	// counter: SchemaVersion's contract is that a version-then-schema
+	// reader can never pair the new version with the old schema.
+	st.cur.Store(next)
+	st.acc.Store(newAcc)
+	st.extensions.Add(1)
+	return nil
+}
+
+// extension is the workspace of one validated ExtendAccess: the
+// constraint's binding, its complete live group map and the writer-side
+// pair bookkeeping, ready to publish.
+type extension struct {
+	bind   acBinding
+	groups map[string][]storage.IndexEntry
+	pairs  map[string]*pairEntry
+}
+
+// buildExtension validates the constraint and scans the live data into
+// an extension. It returns (nil, nil) when the constraint is already
+// maintained. Called under mu.
+func (st *Store) buildExtension(ac schema.AccessConstraint) (*extension, error) {
+	if err := ac.Validate(st.cat); err != nil {
+		return nil, fmt.Errorf("live: extending access schema: %w", err)
+	}
+	if _, ok := st.byKey[ac.Key()]; ok {
+		return nil, nil
+	}
+	rs, ok := st.cat.Relation(ac.Rel)
+	if !ok {
+		return nil, fmt.Errorf("live: unknown relation %s", ac.Rel)
+	}
+	xPos, err := rs.Positions(ac.X)
+	if err != nil {
+		return nil, err
+	}
+	yPos, err := rs.Positions(ac.Y)
+	if err != nil {
+		return nil, err
+	}
+	ext := &extension{
+		bind:   acBinding{ac: ac, key: ac.Key(), xPos: xPos, yPos: yPos},
+		groups: make(map[string][]storage.IndexEntry),
+		pairs:  make(map[string]*pairEntry),
+	}
+	var verr error
+	err = st.cur.Load().each(ac.Rel, func(pos int, t value.Tuple) bool {
+		pk := pairKey(t, xPos, yPos)
+		pe := ext.pairs[pk]
+		if pe == nil {
+			xk := value.KeyOf(t, xPos)
+			g := ext.groups[xk]
+			if int64(len(g)+1) > ac.N {
+				verr = &storage.ViolationError{AC: ac, XValue: t.Project(xPos), Distinct: int64(len(g) + 1)}
+				return false
+			}
+			ext.groups[xk] = append(g, storage.IndexEntry{Y: t.Project(yPos), Witness: t, Pos: pos})
+			pe = &pairEntry{}
+			ext.pairs[pk] = pe
+		}
+		pe.count++
+		pe.positions = append(pe.positions, pos)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if verr != nil {
+		return nil, verr
+	}
+	return ext, nil
+}

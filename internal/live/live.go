@@ -177,6 +177,8 @@ type IngestStats struct {
 	Flattens int64
 	// Compactions counts Compact calls that published a fresh base.
 	Compactions int64
+	// Extensions counts ExtendAccess calls that published a wider schema.
+	Extensions int64
 }
 
 // acBinding caches one constraint's positional bindings on its relation.
@@ -205,8 +207,13 @@ type pairEntry struct {
 type Store struct {
 	base *storage.Database
 	cat  *schema.Catalog
-	acc  *schema.AccessSchema
 	mode Mode
+
+	// acc is the access schema every write is checked against. It is
+	// replaced wholesale (never mutated) by ExtendAccess, so concurrent
+	// readers — the engine reads it per preparation — always see a
+	// consistent schema value.
+	acc atomic.Pointer[schema.AccessSchema]
 
 	// cur is the published snapshot; readers load it without locking.
 	cur atomic.Pointer[Snapshot]
@@ -214,7 +221,10 @@ type Store struct {
 	// mu serializes writers and guards the writer-owned state below.
 	mu sync.Mutex
 	// byRel maps a relation to the constraints on it; byKey maps a
-	// constraint key to its binding (for Fetch validation).
+	// constraint key to its binding. byKey is immutable once published:
+	// ExtendAccess installs a fresh copy and hands the old one's snapshots
+	// keep the map they were born with (Snapshot.binds), so the read path
+	// never races schema evolution.
 	byRel map[string][]acBinding
 	byKey map[string]acBinding
 	// pairs is per constraint key the live (X, Y) pair bookkeeping.
@@ -241,6 +251,7 @@ type Store struct {
 	quarantined atomic.Int64
 	flattens    atomic.Int64
 	compactions atomic.Int64
+	extensions  atomic.Int64
 }
 
 // New builds a live store over a loaded database. The database's access
@@ -262,12 +273,12 @@ func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store
 	st := &Store{
 		base:     base,
 		cat:      cat,
-		acc:      acc,
 		mode:     opts.Mode,
 		byRel:    make(map[string][]acBinding),
 		byKey:    make(map[string]acBinding),
 		relStats: make(map[string]*relCounters, cat.NumRelations()),
 	}
+	st.acc.Store(acc)
 	for _, rs := range cat.Relations() {
 		st.relStats[rs.Name()] = &relCounters{}
 	}
@@ -289,7 +300,7 @@ func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store
 		st.byKey[b.key] = b
 	}
 	size, total := st.bootstrap(base)
-	root := &Snapshot{st: st, base: base, size: size, numTuples: total}
+	root := &Snapshot{st: st, base: base, size: size, numTuples: total, binds: st.byKey, acc: acc}
 	st.cur.Store(root)
 	return st, nil
 }
@@ -351,7 +362,8 @@ func (st *Store) Compact() (uint64, error) {
 		return cur.epoch, err
 	}
 	size, total := st.bootstrap(frozen)
-	next := &Snapshot{st: st, base: frozen, epoch: cur.epoch + 1, size: size, numTuples: total}
+	next := &Snapshot{st: st, base: frozen, epoch: cur.epoch + 1, size: size, numTuples: total,
+		binds: st.byKey, acc: st.acc.Load()}
 	st.compactions.Add(1)
 	st.cur.Store(next)
 	return next.epoch, nil
@@ -370,8 +382,9 @@ func (st *Store) Base() *storage.Database { return st.base }
 // Catalog returns the catalog the store conforms to.
 func (st *Store) Catalog() *schema.Catalog { return st.cat }
 
-// Access returns the access schema every write is checked against.
-func (st *Store) Access() *schema.AccessSchema { return st.acc }
+// Access returns the access schema every write is checked against — the
+// current one, after any ExtendAccess calls.
+func (st *Store) Access() *schema.AccessSchema { return st.acc.Load() }
 
 // Mode returns the store's violation policy.
 func (st *Store) Mode() Mode { return st.mode }
@@ -379,6 +392,14 @@ func (st *Store) Mode() Mode { return st.mode }
 // Snapshot pins the current epoch: an immutable, fully consistent view
 // safe for any number of concurrent readers, unaffected by later writes.
 func (st *Store) Snapshot() *Snapshot { return st.cur.Load() }
+
+// EpochKey renders the current epoch for display; pinning a snapshot is
+// equally cheap here (one atomic load), this only mirrors the sharded
+// store's display accessor.
+func (st *Store) EpochKey() string { return st.Snapshot().EpochKey() }
+
+// NumTuples returns |D| at the current epoch.
+func (st *Store) NumTuples() int64 { return st.Snapshot().NumTuples() }
 
 // LiveCount returns the number of live occurrences of an exactly-equal
 // tuple (0 for unknown relations). It consults the writer bookkeeping
@@ -400,7 +421,21 @@ func (st *Store) LiveCount(rel string, t value.Tuple) int {
 }
 
 // Epoch returns the current epoch number (0 until the first commit).
+// Epochs identify data versions: every committed batch, compaction and
+// schema extension publishes a new one, which is what the serving
+// layer's result-cache keys ride on (Snapshot.EpochKey).
 func (st *Store) Epoch() uint64 { return st.cur.Load().epoch }
+
+// SchemaVersion is the monotone schema change counter: the number of
+// ExtendAccess calls that published. The engine tags cached preparation
+// errors with it and retries the analysis once it has advanced — and
+// only then: a boundedness verdict depends on the query and the access
+// schema alone, so data epochs must not invalidate it (a hot rejected
+// shape under ingest churn would otherwise re-run the analysis per
+// request). publishExtension stores the new schema before advancing the
+// counter, so a reader that loads the counter first and the schema
+// second can never pair the new version with the old schema.
+func (st *Store) SchemaVersion() uint64 { return uint64(st.extensions.Load()) }
 
 // Insert applies a single-op insert batch. See Apply.
 func (st *Store) Insert(rel string, t value.Tuple) error {
@@ -480,6 +515,7 @@ func (st *Store) IngestStats() IngestStats {
 		Epochs:         st.Epoch(),
 		Flattens:       st.flattens.Load(),
 		Compactions:    st.compactions.Load(),
+		Extensions:     st.extensions.Load(),
 	}
 }
 

@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"strconv"
 
 	"bcq/internal/schema"
 	"bcq/internal/storage"
@@ -25,6 +26,15 @@ type Snapshot struct {
 	// compacted one while pinned older snapshots keep theirs.
 	base  *storage.Database
 	epoch uint64
+
+	// binds and acc freeze the access schema of this epoch: the bindings
+	// the read path resolves constraints through and the schema value a
+	// Freeze rebuild indexes under. They are immutable maps/values shared
+	// across epochs and replaced wholesale by ExtendAccess, so a snapshot
+	// pinned before an extension keeps serving (and erroring) exactly as
+	// the schema stood at its epoch.
+	binds map[string]acBinding
+	acc   *schema.AccessSchema
 
 	// parent chains towards older epochs; nil at the root or right after
 	// a flatten. depth is the chain length below this snapshot.
@@ -79,8 +89,19 @@ func (s *Snapshot) deadSet(rel string) map[int]bool {
 // Epoch returns the snapshot's epoch number (0 = the pristine base).
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
+// EpochKey identifies the exact data version this snapshot serves, for
+// result-cache keying: two snapshots of one store with equal keys serve
+// byte-identical answers (epochs are unique per store, monotonic across
+// commits, compactions and schema extensions).
+func (s *Snapshot) EpochKey() string { return "live:" + strconv.FormatUint(s.epoch, 10) }
+
 // Store returns the live store the snapshot was pinned from.
 func (s *Snapshot) Store() *Store { return s.st }
+
+// Access returns the access schema as it stood at this epoch — the
+// schema a Freeze rebuild indexes under, unaffected by later
+// ExtendAccess calls on the store.
+func (s *Snapshot) Access() *schema.AccessSchema { return s.acc }
 
 // NumTuples returns |D| at this epoch: live tuples across all relations.
 func (s *Snapshot) NumTuples() int64 { return s.numTuples }
@@ -104,7 +125,7 @@ func (s *Snapshot) lookupGroup(acKey, xk string) []storage.IndexEntry {
 			}
 		}
 	}
-	b, ok := s.st.byKey[acKey]
+	b, ok := s.binds[acKey]
 	if !ok {
 		return nil
 	}
@@ -120,7 +141,7 @@ func (s *Snapshot) lookupGroup(acKey, xk string) []storage.IndexEntry {
 // Callers must not mutate the returned slice.
 func (s *Snapshot) Fetch(ac schema.AccessConstraint, xVals value.Tuple) ([]storage.IndexEntry, error) {
 	key := ac.Key()
-	if _, ok := s.st.byKey[key]; !ok {
+	if _, ok := s.binds[key]; !ok {
 		return nil, fmt.Errorf("live: no index maintained for constraint %s", ac)
 	}
 	if len(xVals) != len(ac.X) {
@@ -141,7 +162,7 @@ func (s *Snapshot) Fetch(ac schema.AccessConstraint, xVals value.Tuple) ([]stora
 // Callers must not mutate the returned entry slices.
 func (s *Snapshot) FetchBatch(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error) {
 	key := ac.Key()
-	if _, ok := s.st.byKey[key]; !ok {
+	if _, ok := s.binds[key]; !ok {
 		return nil, fmt.Errorf("live: no index maintained for constraint %s", ac)
 	}
 	out := make([][]storage.IndexEntry, len(xs))
@@ -255,7 +276,7 @@ func (s *Snapshot) Freeze() (*storage.Database, error) {
 			return nil, err
 		}
 	}
-	if err := db.BuildIndexes(s.st.acc); err != nil {
+	if err := db.BuildIndexes(s.acc); err != nil {
 		return nil, fmt.Errorf("live: frozen snapshot violates the access schema (live-store bug): %w", err)
 	}
 	return db, nil

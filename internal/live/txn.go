@@ -374,6 +374,8 @@ func (tx *txn) snapshot() *Snapshot {
 		base:      snap.base,
 		epoch:     snap.epoch + 1,
 		numTuples: snap.numTuples,
+		binds:     snap.binds,
+		acc:       snap.acc,
 	}
 
 	// added: copy the per-relation map, extending touched relations. The

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"bcq/internal/exec"
+	"bcq/internal/live"
+	"bcq/internal/value"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Query is the SPC query text; "attr = ?" placeholders bind Args
+	// positionally.
+	Query string `json:"query"`
+	// Args are the placeholder arguments: JSON null, integer or string.
+	Args []json.RawMessage `json:"args"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// ingestRequest is the POST /ingest body.
+type ingestRequest struct {
+	Ops []opRequest `json:"ops"`
+}
+
+// opRequest is one write op: {"op": "insert"|"delete", "rel": ...,
+// "tuple": [...]}.
+type opRequest struct {
+	Op    string            `json:"op"`
+	Rel   string            `json:"rel"`
+	Tuple []json.RawMessage `json:"tuple"`
+}
+
+// decodeValue converts one JSON scalar into a database value: null,
+// integer or string. Fractional numbers have no database representation
+// and are rejected.
+func decodeValue(raw json.RawMessage) (value.Value, error) {
+	var v any
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return value.Null, fmt.Errorf("invalid value %s: %w", raw, err)
+	}
+	switch x := v.(type) {
+	case nil:
+		return value.Null, nil
+	case json.Number:
+		i, err := x.Int64()
+		if err != nil {
+			return value.Null, fmt.Errorf("value %s is not an integer (fractional values are unsupported)", x)
+		}
+		return value.Int(i), nil
+	case string:
+		return value.Str(x), nil
+	default:
+		return value.Null, fmt.Errorf("value %s has unsupported type %T (null, integer or string expected)", raw, v)
+	}
+}
+
+// encodeValue renders a database value as its JSON scalar.
+func encodeValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindInt:
+		return v.AsInt()
+	case value.KindString:
+		return v.AsString()
+	default:
+		return nil
+	}
+}
+
+// decodeArgs converts a JSON argument vector.
+func decodeArgs(raws []json.RawMessage) ([]value.Value, error) {
+	out := make([]value.Value, len(raws))
+	for i, raw := range raws {
+		v, err := decodeValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// decodeOps converts an ingest batch.
+func decodeOps(reqs []opRequest) ([]live.Op, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("empty ops list")
+	}
+	out := make([]live.Op, len(reqs))
+	for i, op := range reqs {
+		tu := make(value.Tuple, len(op.Tuple))
+		for j, raw := range op.Tuple {
+			v, err := decodeValue(raw)
+			if err != nil {
+				return nil, fmt.Errorf("op %d, attribute %d: %w", i, j, err)
+			}
+			tu[j] = v
+		}
+		switch op.Op {
+		case "insert":
+			out[i] = live.Insert(op.Rel, tu)
+		case "delete":
+			out[i] = live.Delete(op.Rel, tu)
+		default:
+			return nil, fmt.Errorf("op %d: unknown op %q (insert or delete)", i, op.Op)
+		}
+	}
+	return out, nil
+}
+
+// resultPayload is the canonical JSON rendering of one answer — structs
+// only, so marshaling is deterministic and equal results produce equal
+// bytes (the property the epoch-keyed cache and its tests rely on).
+type resultPayload struct {
+	Cols   []string     `json:"cols"`
+	Tuples [][]any      `json:"tuples"`
+	Stats  statsPayload `json:"stats"`
+	DQSize int64        `json:"dq_size"`
+}
+
+type statsPayload struct {
+	IndexLookups  int64 `json:"index_lookups"`
+	TuplesFetched int64 `json:"tuples_fetched"`
+	TuplesScanned int64 `json:"tuples_scanned"`
+}
+
+// marshalResult renders an execution result canonically.
+func marshalResult(res *exec.Result) ([]byte, error) {
+	p := resultPayload{
+		Cols:   res.Cols,
+		Tuples: make([][]any, len(res.Tuples)),
+		Stats: statsPayload{
+			IndexLookups:  res.Stats.IndexLookups,
+			TuplesFetched: res.Stats.TuplesFetched,
+			TuplesScanned: res.Stats.TuplesScanned,
+		},
+		DQSize: res.DQSize,
+	}
+	if p.Cols == nil {
+		p.Cols = []string{}
+	}
+	for i, tu := range res.Tuples {
+		row := make([]any, len(tu))
+		for j, v := range tu {
+			row[j] = encodeValue(v)
+		}
+		p.Tuples[i] = row
+	}
+	return json.Marshal(p)
+}

@@ -1,0 +1,513 @@
+// Package serve is the concurrent serving layer over the prepared-query
+// engine: an HTTP/JSON server that multiplexes many clients onto the
+// bounded executor and caches hot answers without ever serving a stale
+// one.
+//
+// The paper's guarantee makes each query cheap — a bounded plan touches
+// an amount of data independent of |D| — but a service also has to make
+// many queries cheap at once. The server adds the three service-side
+// mechanisms the engine itself does not provide:
+//
+//   - admission control: a worker pool of fixed width executes requests;
+//     excess requests queue up to a bounded depth and are rejected with
+//     503 beyond it, so an overload degrades crisply instead of
+//     collapsing the process. Every request carries a deadline (the
+//     server default, or the request's timeout_ms), enforced while
+//     queued and while executing.
+//   - an epoch-keyed result cache: answers are cached under the key
+//     (plan fingerprint, bound arguments, snapshot epoch). The epoch
+//     component rides on the live/shard layers' snapshot machinery —
+//     every committed batch, compaction or schema extension publishes a
+//     new epoch, so a cached answer is reachable only by requests whose
+//     pinned view is byte-identical to the one that produced it. Stale
+//     hits are structurally impossible: invalidation is the key changing,
+//     not an event that could be missed. (See DESIGN.md §8 for the
+//     one-paragraph proof.)
+//   - observability: /stats exposes the engine counters, per-relation
+//     access statistics, result-cache hit rates and server-side queue
+//     counters.
+//
+// Endpoints (all JSON): POST /query, POST /prepare, POST /ingest,
+// GET /stats, GET /healthz. cmd/bqserve wires a dataset into the server;
+// examples/serving drives it with concurrent clients under ingest churn.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"bcq/internal/engine"
+	"bcq/internal/exec"
+	"bcq/internal/live"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// StoreMetrics is the observability surface a store offers /stats.
+// *storage.Database, *live.Store and *shard.Store all satisfy it.
+type StoreMetrics interface {
+	Stats() storage.Stats
+	RelStats() map[string]storage.Stats
+}
+
+// Options tunes a Server.
+type Options struct {
+	// Workers caps concurrently executing requests (≤ 0 means GOMAXPROCS).
+	Workers int
+	// MaxQueue caps requests waiting for a worker slot; beyond it requests
+	// are rejected immediately with 503 (≤ 0 means 8 × Workers).
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline, covering queue wait and
+	// execution (≤ 0 means 5s). A request's timeout_ms overrides it.
+	DefaultTimeout time.Duration
+	// ResultCacheSize caps the result cache in entries (0 means the
+	// default 4096; negative disables the cache).
+	ResultCacheSize int
+	// Ingest applies a write batch: wire live.Store.Apply or
+	// shard.Store.Apply here. Nil makes /ingest respond 501.
+	Ingest func(ops []live.Op) error
+	// Metrics adds store-side counters to /stats when non-nil.
+	Metrics StoreMetrics
+}
+
+// DefaultResultCacheSize is the result-cache capacity when Options
+// leaves it unset.
+const DefaultResultCacheSize = 4096
+
+// Server is the HTTP serving layer over one engine. It is safe for
+// concurrent use; construct it with New and mount Handler.
+type Server struct {
+	eng      *engine.Engine
+	ingest   func(ops []live.Op) error
+	metrics  StoreMetrics
+	cache    *resultCache
+	workers  int
+	maxQueue int
+	timeout  time.Duration
+
+	// sem is the worker pool: each executing request holds one slot.
+	sem chan struct{}
+	// waiting counts requests holding-or-awaiting a slot; the admission
+	// bound is workers + maxQueue.
+	waiting atomic.Int64
+
+	queries   atomic.Int64
+	ingests   atomic.Int64
+	overloads atomic.Int64
+	timeouts  atomic.Int64
+
+	// testHold, when non-nil (tests only), blocks every query execution
+	// until the channel is closed — the probe for backpressure and
+	// deadline behavior.
+	testHold chan struct{}
+
+	mux *http.ServeMux
+}
+
+// New builds a server over an engine.
+func New(eng *engine.Engine, opts Options) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("serve: engine is required")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxQueue := opts.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = 8 * workers
+	}
+	timeout := opts.DefaultTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	s := &Server{
+		eng:      eng,
+		ingest:   opts.Ingest,
+		metrics:  opts.Metrics,
+		workers:  workers,
+		maxQueue: maxQueue,
+		timeout:  timeout,
+		sem:      make(chan struct{}, workers),
+	}
+	switch {
+	case opts.ResultCacheSize < 0:
+		// cache disabled
+	case opts.ResultCacheSize == 0:
+		s.cache = newResultCache(DefaultResultCacheSize)
+	default:
+		s.cache = newResultCache(opts.ResultCacheSize)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/prepare", s.handlePrepare)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the engine the server fronts.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// CacheStats returns the result cache's counters (zero when disabled).
+func (s *Server) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
+}
+
+// errOverloaded and errDeadline classify admission failures.
+var (
+	errOverloaded = errors.New("serve: queue full")
+	errDeadline   = errors.New("serve: deadline exceeded")
+)
+
+// acquire admits a request into the worker pool: immediately rejected
+// when queued-plus-executing requests already fill workers + maxQueue,
+// waiting up to the context deadline otherwise. On nil return the
+// caller owns one semaphore slot and one admission count; release both
+// through release.
+func (s *Server) acquire(ctx context.Context) error {
+	if s.waiting.Add(1) > int64(s.workers+s.maxQueue) {
+		s.waiting.Add(-1)
+		s.overloads.Add(1)
+		return errOverloaded
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.waiting.Add(-1)
+		s.timeouts.Add(1)
+		return errDeadline
+	}
+}
+
+// release returns an acquired slot and its admission count.
+func (s *Server) release() {
+	<-s.sem
+	s.waiting.Add(-1)
+}
+
+// deadline resolves a request's deadline from its timeout_ms, capped to
+// nothing — the client owns its patience — and defaulting to the server
+// timeout.
+func (s *Server) deadline(ms int64) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return s.timeout
+}
+
+// apiError writes a JSON error with the given status.
+func apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handlerResult is one handler body's outcome: an HTTP status and the
+// JSON document to write.
+type handlerResult struct {
+	status int
+	v      any
+}
+
+// errResult builds an error outcome.
+func errResult(status int, format string, args ...any) handlerResult {
+	return handlerResult{status: status, v: map[string]string{"error": fmt.Sprintf(format, args...)}}
+}
+
+// runOnWorker applies the admission policy to one request: admit (503
+// when the queue is full, 504 when the deadline fires while queued),
+// run fn on a worker slot, enforce the deadline while executing. The
+// handler goroutine only waits, so a deadline answers 504 even
+// mid-execution; the slot is released when fn actually finishes, which
+// keeps the admission bound honest. Every endpoint that executes or
+// writes goes through here — /prepare's boundedness analysis and
+// /ingest's admission checks are as CPU-real as query execution.
+func (s *Server) runOnWorker(w http.ResponseWriter, r *http.Request, timeoutMS int64, fn func() handlerResult) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(timeoutMS))
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errOverloaded) {
+			apiError(w, http.StatusServiceUnavailable, "overloaded: %d requests in flight or queued", s.workers+s.maxQueue)
+		} else {
+			apiError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+		}
+		return
+	}
+	outCh := make(chan handlerResult, 1)
+	go func() {
+		defer s.release()
+		// This goroutine is ours, not net/http's, so its panics are not
+		// absorbed by the server's per-connection recovery — a latent
+		// panic in one execution must cost one 500, not the process.
+		defer func() {
+			if p := recover(); p != nil {
+				outCh <- errResult(http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}()
+		if s.testHold != nil {
+			<-s.testHold
+		}
+		outCh <- fn()
+	}()
+	select {
+	case out := <-outCh:
+		writeJSON(w, out.status, out.v)
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		apiError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	}
+}
+
+// handleQuery answers POST /query: prepare (plan-cached), pin a view,
+// serve from the result cache when the (fingerprint, args, epoch) key
+// hits, execute and fill the cache otherwise.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		apiError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.queries.Add(1)
+	var req queryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Query == "" {
+		apiError(w, http.StatusBadRequest, "missing query text")
+		return
+	}
+	args, err := decodeArgs(req.Args)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.runOnWorker(w, r, req.TimeoutMS, func() handlerResult {
+		return s.execQuery(req.Query, args)
+	})
+}
+
+// queryEnvelope wraps the canonical payload with per-request metadata.
+// The payload bytes are cached and replayed verbatim, so two requests
+// answered at one epoch are byte-identical in the result field.
+type queryEnvelope struct {
+	Result json.RawMessage `json:"result"`
+	Cached bool            `json:"cached"`
+	Epoch  string          `json:"epoch"`
+}
+
+// execQuery is the cache-or-execute core of /query.
+func (s *Server) execQuery(text string, args []value.Value) handlerResult {
+	p, err := s.eng.Prepare(text)
+	if err != nil {
+		return errResult(http.StatusBadRequest, "%v", err)
+	}
+
+	// Pin the view first, key off the pinned view's own epoch: the key
+	// can never name data the execution would not see.
+	view := s.eng.View()
+	epoch := epochKeyOf(view)
+	var key string
+	if s.cache != nil && epoch != "" {
+		key = cacheKey(p, args, epoch)
+		if body, ok := s.cache.get(key); ok {
+			return handlerResult{status: http.StatusOK, v: queryEnvelope{Result: body, Cached: true, Epoch: epoch}}
+		}
+	}
+	res, err := p.ExecOn(view, args...)
+	if err != nil {
+		return errResult(http.StatusBadRequest, "%v", err)
+	}
+	body, err := marshalResult(res)
+	if err != nil {
+		return errResult(http.StatusInternalServerError, "%v", err)
+	}
+	if key != "" {
+		s.cache.put(key, body)
+	}
+	return handlerResult{status: http.StatusOK, v: queryEnvelope{Result: body, Epoch: epoch}}
+}
+
+// epochKeyOf extracts a store view's data-version key. An empty string
+// (a store with no epoch identity) disables result caching for the
+// request — correctness first.
+func epochKeyOf(st exec.Store) string {
+	if e, ok := st.(interface{ EpochKey() string }); ok {
+		return e.EpochKey()
+	}
+	return ""
+}
+
+// handlePrepare answers POST /prepare: plan (or reuse the cached plan
+// for) a query shape and report its fingerprint and fetch bound. The
+// boundedness analysis runs on a worker slot like any execution.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		apiError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Query string `json:"query"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.runOnWorker(w, r, 0, func() handlerResult {
+		p, err := s.eng.Prepare(req.Query)
+		if err != nil {
+			return errResult(http.StatusUnprocessableEntity, "%v", err)
+		}
+		return handlerResult{status: http.StatusOK, v: struct {
+			Fingerprint string `json:"fingerprint"`
+			NumParams   int    `json:"num_params"`
+			FetchBound  string `json:"fetch_bound"`
+			PlanSteps   int    `json:"plan_steps"`
+		}{
+			Fingerprint: p.Query().String(),
+			NumParams:   p.NumParams(),
+			FetchBound:  p.FetchBound().String(),
+			PlanSteps:   len(p.Plan().Steps),
+		}}
+	})
+}
+
+// handleIngest answers POST /ingest, applying a write batch through the
+// wired store (501 when the engine serves a sealed database). The write
+// runs on a worker slot: admission checking and copy-on-write index
+// maintenance are real work.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		apiError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.ingest == nil {
+		apiError(w, http.StatusNotImplemented, "store is sealed: no ingest path configured")
+		return
+	}
+	s.ingests.Add(1)
+	var req ingestRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ops, err := decodeOps(req.Ops)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.runOnWorker(w, r, 0, func() handlerResult {
+		if err := s.ingest(ops); err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, live.ErrBound) || errors.Is(err, live.ErrNoSuchTuple) {
+				status = http.StatusConflict
+			}
+			return errResult(status, "%v", err)
+		}
+		return handlerResult{status: http.StatusOK, v: struct {
+			Applied int    `json:"applied"`
+			Epoch   string `json:"epoch"`
+		}{Applied: len(ops), Epoch: s.eng.EpochKey()}}
+	})
+}
+
+// handleStats answers GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		apiError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := statsResponse{
+		Engine: s.eng.Stats(),
+		Cache:  s.CacheStats(),
+		Server: serverStats{
+			Queries:   s.queries.Load(),
+			Ingests:   s.ingests.Load(),
+			Overloads: s.overloads.Load(),
+			Timeouts:  s.timeouts.Load(),
+			InFlight:  s.waiting.Load(),
+			Workers:   s.workers,
+			MaxQueue:  s.maxQueue,
+		},
+		// Display accessors only: no view pin, so a liveness or metrics
+		// prober never contends with writers or view pins.
+		Epoch: s.eng.EpochKey(),
+	}
+	if s.metrics != nil {
+		if n, ok := s.metrics.(interface{ NumTuples() int64 }); ok {
+			st.NumTuples = n.NumTuples()
+		}
+		acc := s.metrics.Stats()
+		st.Access = &acc
+		st.Relations = s.metrics.RelStats()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// serverStats is the admission-side counter block of /stats.
+type serverStats struct {
+	Queries   int64 `json:"queries"`
+	Ingests   int64 `json:"ingests"`
+	Overloads int64 `json:"overloads"`
+	Timeouts  int64 `json:"timeouts"`
+	InFlight  int64 `json:"in_flight"`
+	Workers   int   `json:"workers"`
+	MaxQueue  int   `json:"max_queue"`
+}
+
+// statsResponse is the /stats document.
+type statsResponse struct {
+	Engine    engine.Stats             `json:"engine"`
+	Cache     CacheStats               `json:"result_cache"`
+	Server    serverStats              `json:"server"`
+	Epoch     string                   `json:"epoch"`
+	NumTuples int64                    `json:"num_tuples"`
+	Access    *storage.Stats           `json:"access,omitempty"`
+	Relations map[string]storage.Stats `json:"relations,omitempty"`
+}
+
+// handleHealthz answers GET /healthz. The epoch comes from the display
+// accessor — no view pin, so probers never contend with writers.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK    bool   `json:"ok"`
+		Epoch string `json:"epoch"`
+	}{OK: true, Epoch: s.eng.EpochKey()})
+}
+
+// maxBodyBytes bounds a request body: large enough for bulk ingest
+// batches, small enough that a hostile POST cannot balloon memory.
+const maxBodyBytes = 8 << 20
+
+// decodeBody decodes a JSON request body strictly (unknown fields are
+// caller bugs worth surfacing), bounded by maxBodyBytes.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}

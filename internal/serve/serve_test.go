@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bcq/internal/engine"
+	"bcq/internal/live"
+	"bcq/internal/schema"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+const serveDDL = `
+relation in_album(photo_id, album_id)
+relation friends(user_id, friend_id)
+relation tagging(photo_id, tagger_id, taggee_id)
+
+constraint in_album: (album_id) -> (photo_id, 1000)
+constraint friends: (user_id) -> (friend_id, 5000)
+constraint tagging: (photo_id, taggee_id) -> (tagger_id, 1)
+`
+
+func strT(vals ...string) value.Tuple {
+	tu := make(value.Tuple, len(vals))
+	for i, v := range vals {
+		tu[i] = value.Str(v)
+	}
+	return tu
+}
+
+// serveScene builds a live store with hand-checkable social data.
+func serveScene(t testing.TB) *live.Store {
+	t.Helper()
+	cat, acc, err := schema.ParseDDL(serveDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat)
+	ins := func(rel string, vals ...string) {
+		t.Helper()
+		if err := db.Insert(rel, strT(vals...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("in_album", "p1", "a0")
+	ins("in_album", "p2", "a0")
+	ins("in_album", "p3", "a1")
+	ins("friends", "u0", "f1")
+	ins("friends", "u0", "f2")
+	ins("friends", "u1", "f9")
+	ins("tagging", "p1", "f1", "u0")
+	ins("tagging", "p2", "s9", "u0")
+	ins("tagging", "p3", "f1", "u0")
+	ls, err := live.New(db, acc, live.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+// newTestServer wires a live engine into a serve.Server and an
+// httptest.Server.
+func newTestServer(t testing.TB, engOpts engine.Options, opts Options) (*live.Store, *Server, *httptest.Server) {
+	t.Helper()
+	ls := serveScene(t)
+	eng, err := engine.NewLive(ls, engOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Ingest = func(ops []live.Op) error {
+		_, err := ls.Apply(ops)
+		return err
+	}
+	opts.Metrics = ls
+	srv, err := New(eng, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return ls, srv, hs
+}
+
+// post sends a JSON body and decodes status plus raw response.
+func post(t testing.TB, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// envelope mirrors the /query response.
+type envelope struct {
+	Result json.RawMessage `json:"result"`
+	Cached bool            `json:"cached"`
+	Epoch  string          `json:"epoch"`
+	Error  string          `json:"error"`
+}
+
+func queryOnce(t testing.TB, base, body string) (int, envelope) {
+	t.Helper()
+	code, raw := post(t, base+"/query", body)
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("undecodable response %s: %v", raw, err)
+	}
+	return code, env
+}
+
+func TestQueryServedAndCached(t *testing.T) {
+	_, srv, hs := newTestServer(t, engine.Options{}, Options{})
+	body := `{"query": "select photo_id from in_album where album_id = ?", "args": ["a0"]}`
+
+	code, env := queryOnce(t, hs.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, env.Error)
+	}
+	if env.Cached {
+		t.Error("first execution reported cached")
+	}
+	var payload struct {
+		Cols   []string   `json:"cols"`
+		Tuples [][]string `json:"tuples"`
+		DQSize int64      `json:"dq_size"`
+	}
+	if err := json.Unmarshal(env.Result, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Tuples) != 2 || payload.Tuples[0][0] != "p1" || payload.Tuples[1][0] != "p2" {
+		t.Errorf("tuples = %v, want [[p1] [p2]]", payload.Tuples)
+	}
+
+	code, env2 := queryOnce(t, hs.URL, body)
+	if code != http.StatusOK || !env2.Cached {
+		t.Errorf("repeat at one epoch: status %d cached %v, want a cache hit", code, env2.Cached)
+	}
+	if string(env2.Result) != string(env.Result) {
+		t.Errorf("cached payload differs from executed payload:\n %s\n %s", env2.Result, env.Result)
+	}
+	cs := srv.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit, 1 miss, 1 entry", cs)
+	}
+}
+
+func TestIngestInvalidatesNaturally(t *testing.T) {
+	_, _, hs := newTestServer(t, engine.Options{}, Options{})
+	body := `{"query": "select photo_id from in_album where album_id = ?", "args": ["a1"]}`
+
+	_, before := queryOnce(t, hs.URL, body)
+	if _, again := queryOnce(t, hs.URL, body); !again.Cached {
+		t.Fatal("warm-up did not hit the cache")
+	}
+
+	code, raw := post(t, hs.URL+"/ingest",
+		`{"ops": [{"op": "insert", "rel": "in_album", "tuple": ["p9", "a1"]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", code, raw)
+	}
+
+	code, after := queryOnce(t, hs.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, after.Error)
+	}
+	if after.Cached {
+		t.Error("post-ingest query served from cache (stale hit)")
+	}
+	if after.Epoch == before.Epoch {
+		t.Errorf("epoch did not advance across ingest (%s)", after.Epoch)
+	}
+	if string(after.Result) == string(before.Result) {
+		t.Error("post-ingest answer identical to pre-ingest answer despite new tuple")
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	_, _, hs := newTestServer(t, engine.Options{}, Options{})
+
+	// tagging: (photo_id, taggee_id) -> (tagger_id, 1) — a second tagger
+	// for (p1, u0) violates the bound.
+	code, raw := post(t, hs.URL+"/ingest",
+		`{"ops": [{"op": "insert", "rel": "tagging", "tuple": ["p1", "zz", "u0"]}]}`)
+	if code != http.StatusConflict {
+		t.Errorf("bound violation: status %d (%s), want 409", code, raw)
+	}
+	code, raw = post(t, hs.URL+"/ingest",
+		`{"ops": [{"op": "delete", "rel": "friends", "tuple": ["nope", "nope"]}]}`)
+	if code != http.StatusConflict {
+		t.Errorf("missing delete: status %d (%s), want 409", code, raw)
+	}
+	code, raw = post(t, hs.URL+"/ingest", `{"ops": [{"op": "upsert", "rel": "friends", "tuple": ["a", "b"]}]}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d (%s), want 400", code, raw)
+	}
+
+	// A sealed engine has no ingest path.
+	cat, acc, err := schema.ParseDDL(serveDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat)
+	eng, err := engine.New(cat, acc, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := New(eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(sealed.Handler())
+	defer hs2.Close()
+	code, _ = post(t, hs2.URL+"/ingest", `{"ops": [{"op": "insert", "rel": "friends", "tuple": ["a", "b"]}]}`)
+	if code != http.StatusNotImplemented {
+		t.Errorf("sealed ingest: status %d, want 501", code)
+	}
+}
+
+func TestPrepareEndpoint(t *testing.T) {
+	_, _, hs := newTestServer(t, engine.Options{}, Options{})
+	code, raw := post(t, hs.URL+"/prepare", `{"query": "select photo_id from in_album where album_id = ?"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	var resp struct {
+		Fingerprint string `json:"fingerprint"`
+		NumParams   int    `json:"num_params"`
+		FetchBound  string `json:"fetch_bound"`
+		PlanSteps   int    `json:"plan_steps"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.NumParams != 1 || resp.Fingerprint == "" || resp.FetchBound == "" {
+		t.Errorf("prepare response %+v incomplete", resp)
+	}
+
+	code, _ = post(t, hs.URL+"/prepare", `{"query": "select photo_id from in_album"}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("unbounded prepare: status %d, want 422", code)
+	}
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	_, _, hs := newTestServer(t, engine.Options{}, Options{})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"query": ""}`, http.StatusBadRequest},
+		{`{"query": "select nope from nowhere"}`, http.StatusBadRequest},
+		{`{"query": "select photo_id from in_album where album_id = ?", "args": [1.5]}`, http.StatusBadRequest},
+		{`{"query": "select photo_id from in_album where album_id = ?", "args": []}`, http.StatusBadRequest},
+		{`{"query": "select photo_id from in_album where album_id = ?", "args": [null]}`, http.StatusBadRequest},
+		{`{"unknown_field": 1}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		code, _ := post(t, hs.URL+"/query", c.body)
+		if code != c.want {
+			t.Errorf("%s: status %d, want %d", c.body, code, c.want)
+		}
+	}
+	resp, err := http.Get(hs.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBackpressureAndDeadlines(t *testing.T) {
+	_, srv, hs := newTestServer(t, engine.Options{}, Options{
+		Workers:  1,
+		MaxQueue: 1,
+	})
+	hold := make(chan struct{})
+	srv.testHold = hold
+
+	body := `{"query": "select photo_id from in_album where album_id = ?", "args": ["a0"]}`
+	type outcome struct{ code int }
+	results := make(chan outcome, 3)
+	var wg sync.WaitGroup
+
+	// First request occupies the single worker (blocked on hold); the
+	// second queues; both succeed after release.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _ := post(t, hs.URL+"/query", body)
+			results <- outcome{code}
+		}()
+	}
+	// Wait until both are admitted (1 executing + 1 queued).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.waiting.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never reached the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third exceeds workers+maxQueue and is rejected immediately.
+	code, _ := post(t, hs.URL+"/query", body)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("overflow request: status %d, want 503", code)
+	}
+
+	close(hold)
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.code != http.StatusOK {
+			t.Errorf("admitted request: status %d, want 200", r.code)
+		}
+	}
+
+	// Deadline: a held execution must answer 504 within the request
+	// timeout, not hang.
+	srv.testHold = make(chan struct{})
+	start := time.Now()
+	code, _ = post(t, hs.URL+"/query",
+		`{"query": "select photo_id from in_album where album_id = ?", "args": ["a0"], "timeout_ms": 50}`)
+	if code != http.StatusGatewayTimeout {
+		t.Errorf("held execution: status %d, want 504", code)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+	close(srv.testHold)
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	_, _, hs := newTestServer(t, engine.Options{}, Options{})
+	if _, env := queryOnce(t, hs.URL, `{"query": "select photo_id from in_album where album_id = ?", "args": ["a0"]}`); env.Error != "" {
+		t.Fatal(env.Error)
+	}
+
+	resp, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Engine struct {
+			Prepares int64 `json:"Prepares"`
+		} `json:"engine"`
+		Cache     CacheStats               `json:"result_cache"`
+		Epoch     string                   `json:"epoch"`
+		NumTuples int64                    `json:"num_tuples"`
+		Relations map[string]storage.Stats `json:"relations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Prepares != 1 || st.NumTuples != 9 || st.Epoch == "" {
+		t.Errorf("stats = %+v, want 1 prepare, 9 tuples, an epoch", st)
+	}
+	if _, ok := st.Relations["in_album"]; !ok {
+		t.Errorf("stats lack the per-relation breakdown: %+v", st.Relations)
+	}
+
+	hz, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var h struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK {
+		t.Error("healthz not ok")
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	_, srv, hs := newTestServer(t, engine.Options{}, Options{ResultCacheSize: -1})
+	body := `{"query": "select photo_id from in_album where album_id = ?", "args": ["a0"]}`
+	for i := 0; i < 2; i++ {
+		code, env := queryOnce(t, hs.URL, body)
+		if code != http.StatusOK || env.Cached {
+			t.Fatalf("request %d: status %d cached %v, want uncached 200", i, code, env.Cached)
+		}
+	}
+	if cs := srv.CacheStats(); cs.Hits != 0 || cs.Entries != 0 {
+		t.Errorf("disabled cache reported activity: %+v", cs)
+	}
+}
+
+func TestResultCacheLRUBound(t *testing.T) {
+	_, srv, hs := newTestServer(t, engine.Options{}, Options{ResultCacheSize: 2})
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"query": "select photo_id from in_album where album_id = ?", "args": ["a%d"]}`, i)
+		if code, env := queryOnce(t, hs.URL, body); code != http.StatusOK {
+			t.Fatal(env.Error)
+		}
+	}
+	if cs := srv.CacheStats(); cs.Entries != 2 {
+		t.Errorf("cache holds %d entries, want the LRU bound 2", cs.Entries)
+	}
+}

@@ -111,19 +111,24 @@ type route struct {
 // exec.PartitionedStore); writes go through Apply/Insert/Delete and are
 // committed shard-parallel.
 type Store struct {
-	cat    *schema.Catalog
-	acc    *schema.AccessSchema
-	base   *storage.Database
-	mode   live.Mode
-	p      int // partition count, fixed before the shards exist
+	cat  *schema.Catalog
+	base *storage.Database
+	mode live.Mode
+	p    int // partition count, fixed before the shards exist
+
 	shards []*live.Store
 	place  map[string]*placement
-	routes map[string]*route // keyed by AccessConstraint.Key()
+	// routes is keyed by AccessConstraint.Key(). The map is immutable
+	// once published: ExtendAccess installs a fresh copy under viewMu,
+	// and each View captures the map current at pin time, so probe
+	// routing never races schema evolution.
+	routes map[string]*route
 
 	// viewMu: writers hold it in read mode for the duration of a commit
 	// (so writes to different shards proceed in parallel); View holds it
 	// in write mode for the instants it pins the epoch vector, making the
-	// vector a consistent cut.
+	// vector a consistent cut. ExtendAccess holds it in write mode for
+	// the whole extension, excluding writers and pins.
 	viewMu sync.RWMutex
 
 	// rrMu guards the round-robin insert cursor of constraint-less
@@ -153,7 +158,6 @@ func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store
 	}
 	st := &Store{
 		cat:    cat,
-		acc:    acc,
 		base:   base,
 		mode:   opts.Mode,
 		p:      opts.Shards,
@@ -319,8 +323,14 @@ func (st *Store) NumShards() int { return st.p }
 // Catalog returns the catalog the store conforms to.
 func (st *Store) Catalog() *schema.Catalog { return st.cat }
 
-// Access returns the access schema every write is checked against.
-func (st *Store) Access() *schema.AccessSchema { return st.acc }
+// Access returns the access schema every write is checked against — the
+// current one, after any ExtendAccess calls. It reads shard 0's live
+// store, which an extension commits FIRST: by the time the store's
+// Version (the epoch sum) reaches its post-extension value the new
+// schema is already published, so the engine's version-before-schema
+// read ordering can never tag a pre-extension analysis with the
+// post-extension version (the sticky-error hazard).
+func (st *Store) Access() *schema.AccessSchema { return st.shards[0].Access() }
 
 // Base returns the database the store was partitioned from. It is not
 // consulted for serving; it exists so callers (the engine facade, the
@@ -563,6 +573,104 @@ func (st *Store) Epochs() []uint64 {
 	return out
 }
 
+// SchemaVersion is the monotone schema change counter: the sum of the
+// shards' extension counts. A shard-consistent ExtendAccess commits
+// shard 0 first (whose schema Access() reads), so a reader that loads
+// this sum first and Access() second can never pair the fully advanced
+// version with the old schema — the ordering the engine's cached-error
+// invalidation relies on. Data epochs deliberately do not advance it: a
+// boundedness verdict depends only on the query and the schema, so
+// ingest churn must not defeat the engine's error cache.
+func (st *Store) SchemaVersion() uint64 {
+	var v uint64
+	for _, ls := range st.shards {
+		v += ls.SchemaVersion()
+	}
+	return v
+}
+
+// ExtendAccess widens the access schema with one more constraint
+// X → (Y, N) at runtime, shard-consistently: writers and view pins are
+// excluded for the duration, every shard's live data is validated
+// against the new bound first, and only then does each shard publish
+// the extension — so a failure (a *storage.ViolationError from the
+// offending shard) leaves the whole store unchanged.
+//
+// The new constraint must not break the placement invariant that makes
+// scatter-gather exact: on a partitioned relation its X must contain
+// the relation's shard key (every group then still lives whole on one
+// shard); pinned relations accept any constraint; constraint-less
+// (round-robin) relations accept none — their tuples are spread without
+// a key, so extending them requires rebuilding the store with the wider
+// schema. Extending with a constraint already in the schema is a no-op.
+func (st *Store) ExtendAccess(ac schema.AccessConstraint) error {
+	st.viewMu.Lock()
+	defer st.viewMu.Unlock()
+
+	if err := ac.Validate(st.cat); err != nil {
+		return fmt.Errorf("shard: extending access schema: %w", err)
+	}
+	if _, ok := st.routes[ac.Key()]; ok {
+		return nil
+	}
+	pl, ok := st.place[ac.Rel]
+	if !ok {
+		return fmt.Errorf("shard: unknown relation %s", ac.Rel)
+	}
+	rt := &route{rel: ac.Rel, pinnedTo: -1}
+	switch pl.kind {
+	case pinned:
+		rt.pinnedTo = pl.home
+	case partitioned:
+		pos, err := positionsIn(pl.key, ac.X)
+		if err != nil {
+			return fmt.Errorf("shard: constraint %s does not contain relation %s's shard key (%s): %w",
+				ac, ac.Rel, strings.Join(pl.key, ", "), err)
+		}
+		rt.keyInX = pos
+	default:
+		return fmt.Errorf("shard: cannot extend constraint-less relation %s: its tuples are spread round-robin with no shard key; rebuild the store with the wider schema", ac.Rel)
+	}
+
+	// Two-phase: stage (validate) every shard before committing any.
+	// Writers are excluded (viewMu held exclusively), so the staged
+	// verdicts stay valid and each shard's live-data scan is paid once.
+	// Commit order matters: shard 0 first, because Access() reads shard
+	// 0's schema and Version() reaches its final sum only at the last
+	// commit — so version-then-schema readers never pair the new version
+	// with the old schema.
+	staged := make([]*live.StagedExtension, len(st.shards))
+	for s, ls := range st.shards {
+		se, err := ls.StageExtension(ac)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		staged[s] = se
+	}
+	for s, se := range staged {
+		if se == nil {
+			continue // this shard already maintained the constraint
+		}
+		if err := se.Commit(); err != nil {
+			return fmt.Errorf("shard %d: %w (extension committed on earlier shards — store inconsistent, rebuild it)", s, err)
+		}
+	}
+
+	newRoutes := make(map[string]*route, len(st.routes)+1)
+	for k, r := range st.routes {
+		newRoutes[k] = r
+	}
+	newRoutes[ac.Key()] = rt
+	st.routes = newRoutes
+	return nil
+}
+
+// EpochKey renders the current epoch vector for display (/stats,
+// /healthz). Unlike View().EpochKey() it does not exclude writers or
+// pin snapshots — the vector is read shard by shard, so it is not a
+// consistent cut and must not key caches.
+func (st *Store) EpochKey() string { return renderEpochKey(st.Epochs()) }
+
 // NumTuples returns |D|: live tuples across all shards and relations.
 func (st *Store) NumTuples() int64 {
 	var n int64
@@ -640,6 +748,7 @@ func (st *Store) IngestStats() live.IngestStats {
 		out.Epochs += ig.Epochs
 		out.Flattens += ig.Flattens
 		out.Compactions += ig.Compactions
+		out.Extensions += ig.Extensions
 	}
 	return out
 }
@@ -665,6 +774,7 @@ func (st *Store) View() *View {
 	for s, ls := range st.shards {
 		snaps[s] = ls.Snapshot()
 	}
+	routes := st.routes
 	st.viewMu.Unlock()
-	return &View{st: st, snaps: snaps}
+	return &View{st: st, snaps: snaps, routes: routes}
 }

@@ -2,6 +2,8 @@ package shard
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"bcq/internal/live"
 	"bcq/internal/schema"
@@ -22,6 +24,10 @@ import (
 type View struct {
 	st    *Store
 	snaps []*live.Snapshot
+	// routes is the probe-routing table current at pin time — captured so
+	// a concurrent ExtendAccess (which installs a fresh map) never races
+	// or retroactively changes a pinned view's routing.
+	routes map[string]*route
 }
 
 // NumShards returns the partition count P (exec.PartitionedStore).
@@ -36,6 +42,25 @@ func (v *View) Epochs() []uint64 {
 	return out
 }
 
+// EpochKey identifies the exact data version this view serves, for
+// result-cache keying: the full epoch vector, rendered. Two views of one
+// store with equal keys pin identical snapshots on every shard, so they
+// serve byte-identical answers.
+func (v *View) EpochKey() string { return renderEpochKey(v.Epochs()) }
+
+// renderEpochKey formats an epoch vector as a cache/display key.
+func renderEpochKey(epochs []uint64) string {
+	var b strings.Builder
+	b.WriteString("shard:")
+	for s, e := range epochs {
+		if s > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(e, 10))
+	}
+	return b.String()
+}
+
 // Snapshot returns one shard's pinned snapshot.
 func (v *View) Snapshot(shard int) *live.Snapshot { return v.snaps[shard] }
 
@@ -44,7 +69,7 @@ func (v *View) Snapshot(shard int) *live.Snapshot { return v.snaps[shard] }
 // shard-key attributes embedded in the constraint's X-binding; probes of
 // a pinned relation all route to its home shard.
 func (v *View) Partition(ac schema.AccessConstraint, xs []value.Tuple) ([]int, error) {
-	rt, ok := v.st.routes[ac.Key()]
+	rt, ok := v.routes[ac.Key()]
 	if !ok {
 		return nil, fmt.Errorf("shard: no route for constraint %s (not in the access schema)", ac)
 	}
@@ -200,7 +225,10 @@ func (v *View) Freeze() (*storage.Database, error) {
 			}
 		}
 	}
-	if err := db.BuildIndexes(v.st.acc); err != nil {
+	// Index under the schema pinned with the snapshots: a view pinned
+	// before an ExtendAccess freezes exactly as its epoch stood (the pin
+	// is schema-consistent across shards — extension excludes pins).
+	if err := db.BuildIndexes(v.snaps[0].Access()); err != nil {
 		return nil, fmt.Errorf("shard: frozen view violates the access schema (shard-store bug): %w", err)
 	}
 	return db, nil

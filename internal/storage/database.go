@@ -148,6 +148,11 @@ func (db *Database) Catalog() *schema.Catalog { return db.cat }
 // construction (and therefore rejects further Inserts).
 func (db *Database) Sealed() bool { return db.sealed }
 
+// EpochKey identifies the data version a sealed database serves, for
+// result-cache keying. A sealed database never changes, so the key is a
+// constant: every cached result stays valid forever.
+func (db *Database) EpochKey() string { return "sealed" }
+
 // Relation returns the named relation, or an error for unknown names.
 func (db *Database) Relation(name string) (*Relation, error) {
 	r, ok := db.rels[name]

@@ -1,0 +1,137 @@
+// Serving-layer benchmarks: end-to-end HTTP throughput of bqserve's
+// /query path as the client count grows, and the epoch-keyed result
+// cache's hit rate when ingest churn keeps advancing the epoch.
+//
+//	go test -bench BenchmarkServe -benchtime 1x
+//
+// Headline metrics:
+//
+//	q/s       — served queries per second (throughput benchmark)
+//	hit_pct   — result-cache hit rate under the given churn interval
+package bcq
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"bcq/internal/datagen"
+	"bcq/internal/engine"
+	"bcq/internal/live"
+	"bcq/internal/serve"
+)
+
+// benchServer stands up the serving stack over the social dataset.
+func benchServer(b *testing.B) (*live.Store, *serve.Server, *httptest.Server) {
+	b.Helper()
+	ds := datagen.Social()
+	db := ds.MustBuild(1.0 / 16)
+	ls, err := live.New(db, ds.Access, live.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.NewLive(ls, engine.Options{Parallelism: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(eng, serve.Options{
+		Workers: 16,
+		Ingest: func(ops []live.Op) error {
+			_, err := ls.Apply(ops)
+			return err
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	b.Cleanup(hs.Close)
+	return ls, srv, hs
+}
+
+func postQuery(b *testing.B, client *http.Client, url, body string) {
+	b.Helper()
+	resp, err := client.Post(url+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServe_Throughput measures served queries per second as the
+// number of concurrent HTTP clients grows over a fixed query mix (hot
+// enough that the result cache carries most of the load).
+func BenchmarkServe_Throughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
+			_, _, hs := benchServer(b)
+			var seq atomic.Int64
+			b.SetParallelism(clients)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := &http.Client{}
+				for pb.Next() {
+					n := seq.Add(1)
+					body := fmt.Sprintf(`{"query": "select photo_id from in_album where album_id = ?", "args": [%d]}`, n%8)
+					postQuery(b, client, hs.URL, body)
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "q/s")
+		})
+	}
+}
+
+// BenchmarkServe_HitRateUnderChurn interleaves ingest with the query
+// stream: every `interval` queries one write batch commits, advancing
+// the epoch and shifting the cache onto fresh keys. The reported hit
+// rate shows how much locality survives a given churn intensity.
+func BenchmarkServe_HitRateUnderChurn(b *testing.B) {
+	for _, interval := range []int{0, 16, 64} {
+		name := "static"
+		if interval > 0 {
+			name = fmt.Sprintf("ingest-every-%d", interval)
+		}
+		b.Run(name, func(b *testing.B) {
+			ls, srv, hs := benchServer(b)
+			client := &http.Client{}
+			base := srv.CacheStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if interval > 0 && i%interval == interval-1 {
+					if _, err := ls.Apply([]live.Op{
+						live.Insert("friends", valueTuple(int64(i%50), int64((i+1)%50))),
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				body := fmt.Sprintf(`{"query": "select photo_id from in_album where album_id = ?", "args": [%d]}`, i%8)
+				postQuery(b, client, hs.URL, body)
+			}
+			b.StopTimer()
+			cs := srv.CacheStats()
+			hits, misses := cs.Hits-base.Hits, cs.Misses-base.Misses
+			if hits+misses > 0 {
+				b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit_pct")
+			}
+		})
+	}
+}
+
+func valueTuple(vals ...int64) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = Int(v)
+	}
+	return t
+}
