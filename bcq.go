@@ -72,6 +72,7 @@ import (
 	"bcq/internal/serve"
 	"bcq/internal/shard"
 	"bcq/internal/spc"
+	"bcq/internal/stats"
 	"bcq/internal/storage"
 	"bcq/internal/value"
 )
@@ -201,13 +202,50 @@ func (a *Analysis) MBounded(m int64, maxActs int) (MBoundedResult, error) {
 	return a.an.ExactMBounded(m, maxActs)
 }
 
-// Plan is a bounded query plan.
-type Plan = plan.Plan
+// Re-exported planning types.
+type (
+	// Plan is a bounded query plan.
+	Plan = plan.Plan
+	// ExplainOptions tunes Plan.ExplainOpts: cost estimates and/or the
+	// actual per-step access counts of a finished execution.
+	ExplainOptions = plan.ExplainOptions
+	// PlanActuals carries an execution's per-step access counts into
+	// ExplainOptions (build one from Result.StepStats / VerifyStats).
+	PlanActuals = plan.Actuals
+	// StepAccess is one plan operation's actual probe and fetch counts.
+	StepAccess = plan.StepAccess
+)
 
 // Plan generates a bounded query plan (algorithm QPlan). It fails with a
 // *plan.NotEffectivelyBoundedError when the query is not effectively
 // bounded.
 func (a *Analysis) Plan() (*Plan, error) { return plan.QPlan(a.an) }
+
+// OptimizedPlan generates a cost-based bounded query plan: same
+// guarantees as Plan, but the fetch order and retrieval witnesses are
+// chosen to minimize expected tuples fetched under the given cardinality
+// statistics (nil falls back to the declared bounds N). Obtain a
+// snapshot from Database.CardStats, LiveDatabase.CardStats,
+// ShardedDatabase.CardStats or Engine.CardStats.
+func (a *Analysis) OptimizedPlan(cs *CardStats) (*Plan, error) { return plan.Optimize(a.an, cs) }
+
+// AnnotateEstimates fills a plan's per-step and total cost estimates
+// from cardinality statistics without changing its structure — for
+// rendering naive and cost-based plans on one scale.
+func AnnotateEstimates(p *Plan, cs *CardStats) { plan.AnnotateEstimates(p, cs) }
+
+// Re-exported cardinality-statistics types: the cost model's input,
+// produced by every store and maintained incrementally through live
+// ingest and sharded commits.
+type (
+	// CardStats is one store's cardinality snapshot (per-relation rows,
+	// per-constraint index shape).
+	CardStats = stats.Snapshot
+	// RelCard is one relation's cardinality statistics.
+	RelCard = stats.RelCard
+	// ACCard is one access constraint's observed index shape.
+	ACCard = stats.ACCard
+)
 
 // Re-exported storage types.
 type (

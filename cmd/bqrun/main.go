@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"bcq"
@@ -54,6 +55,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "bounded-executor probe workers (1 = sequential)")
 	ingest := flag.Int("ingest", 0, "live mode: stream N inserts while queries run against pinned snapshots")
 	shards := flag.Int("shards", 1, "partition the store into P shards (1 = single store)")
+	explain := flag.Bool("explain", false, "print each query's cost-based plan with estimated and actual per-step fetches")
 	verbose := flag.Bool("v", false, "print per-relation access breakdown and per-shard balance")
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 		parallel: *parallel,
 		ingest:   *ingest,
 		shards:   *shards,
+		explain:  *explain,
 		verbose:  *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bqrun:", err)
@@ -83,6 +86,7 @@ type config struct {
 	parallel int
 	ingest   int
 	shards   int
+	explain  bool
 	verbose  bool
 }
 
@@ -187,7 +191,7 @@ func run(c config) error {
 		}
 	} else {
 		for _, q := range queries {
-			if err := runOne(ds, eng, q, c.budget); err != nil {
+			if err := runOne(ds, eng, q, c.budget, c.explain); err != nil {
 				return err
 			}
 		}
@@ -261,6 +265,9 @@ func runSharded(ds *datagen.Dataset, db *bcq.Database, queries []*bcq.Query, c c
 			elapsed := time.Since(start)
 			fmt.Printf("== %s\n   sharded:  %5d answers in %8v — fetched %d tuples (|D_Q| = %d, bound %s)\n",
 				q.Name, len(res.Tuples), elapsed.Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, prep.FetchBound())
+			if c.explain {
+				fmt.Print(indentBlock(prep.Explain(res)))
+			}
 			rprep, err := ref.PrepareQuery(q)
 			if err != nil {
 				return err
@@ -284,6 +291,16 @@ func runSharded(ds *datagen.Dataset, db *bcq.Database, queries []*bcq.Query, c c
 	fmt.Printf("engine: %d prepares (%d planned, %d cache hits), %d executions\n",
 		st.Prepares, st.CacheMisses, st.CacheHits, st.Execs)
 	return nil
+}
+
+// indentBlock indents every line of a plan explanation to align with the
+// per-query report lines.
+func indentBlock(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "   " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 // renderResult canonicalizes a result for byte-identity comparison.
@@ -507,7 +524,7 @@ func driveIngest(eng *engine.Engine, tgt ingestTarget, queries []*bcq.Query, n i
 	return nil
 }
 
-func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, budget int64) error {
+func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, budget int64, explain bool) error {
 	fmt.Printf("== %s\n   %s\n", q.Name, q)
 	prep, err := eng.PrepareQuery(q)
 	if err != nil {
@@ -529,6 +546,9 @@ func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, budget int64)
 	evalTime := time.Since(start)
 	fmt.Printf("   evalDQ:   %5d answers in %8v — fetched %d tuples (|D_Q| = %d, bound %s)\n",
 		len(res.Tuples), evalTime.Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, prep.FetchBound())
+	if explain {
+		fmt.Print(indentBlock(prep.Explain(res)))
+	}
 
 	an, err := bcq.Analyze(ds.Catalog, q, ds.Access)
 	if err != nil {

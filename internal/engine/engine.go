@@ -33,6 +33,7 @@ import (
 	"bcq/internal/schema"
 	"bcq/internal/shard"
 	"bcq/internal/spc"
+	"bcq/internal/stats"
 	"bcq/internal/storage"
 	"bcq/internal/value"
 )
@@ -64,19 +65,27 @@ type Source interface {
 	// (/stats, /healthz) without pinning a view. Not a cache key — use
 	// the pinned view's own EpochKey for that.
 	EpochKey() string
+	// CardStats is the store's current cardinality statistics — the
+	// input of the cost-based planner and of the plan cache's drift
+	// check. Implementations must make this cheap and lock-free: it runs
+	// on every cache-hit Prepare.
+	CardStats() stats.Snapshot
 }
 
 // dbSource serves a sealed database forever: constant data, constant
-// schema, version 0.
+// schema, version 0, and — the data being immutable — cardinality
+// statistics computed once at engine construction.
 type dbSource struct {
 	db  *storage.Database
 	acc *schema.AccessSchema
+	cs  stats.Snapshot
 }
 
 func (s dbSource) View() exec.Store             { return s.db }
 func (s dbSource) Access() *schema.AccessSchema { return s.acc }
 func (s dbSource) Version() uint64              { return 0 }
 func (s dbSource) EpochKey() string             { return s.db.EpochKey() }
+func (s dbSource) CardStats() stats.Snapshot    { return s.cs }
 
 // liveSource pins the live store's current epoch per evaluation.
 type liveSource struct{ ls *live.Store }
@@ -85,6 +94,7 @@ func (s liveSource) View() exec.Store             { return s.ls.Snapshot() }
 func (s liveSource) Access() *schema.AccessSchema { return s.ls.Access() }
 func (s liveSource) Version() uint64              { return s.ls.SchemaVersion() }
 func (s liveSource) EpochKey() string             { return s.ls.EpochKey() }
+func (s liveSource) CardStats() stats.Snapshot    { return s.ls.CardStats() }
 
 // shardSource pins a consistent epoch vector across every shard per
 // evaluation.
@@ -94,6 +104,7 @@ func (s shardSource) View() exec.Store             { return s.ss.View() }
 func (s shardSource) Access() *schema.AccessSchema { return s.ss.Access() }
 func (s shardSource) Version() uint64              { return s.ss.SchemaVersion() }
 func (s shardSource) EpochKey() string             { return s.ss.EpochKey() }
+func (s shardSource) CardStats() stats.Snapshot    { return s.ss.CardStats() }
 
 // Options tunes an engine.
 type Options struct {
@@ -125,6 +136,11 @@ type Stats struct {
 	// StaleRetries counts prepares that re-ran the analysis because the
 	// cached error predated the store's current schema/epoch version.
 	StaleRetries int64
+	// Replans counts cached plans discarded and rebuilt because the
+	// store's observed cardinalities drifted past the re-planning
+	// threshold (roughly 2× on some constraint the plan probes) since the
+	// plan was generated.
+	Replans int64
 	// Execs counts Prepared.Exec calls.
 	Execs int64
 }
@@ -161,6 +177,7 @@ type Engine struct {
 	misses       atomic.Int64
 	evictions    atomic.Int64
 	staleRetries atomic.Int64
+	replans      atomic.Int64
 	execs        atomic.Int64
 }
 
@@ -190,7 +207,7 @@ func New(cat *schema.Catalog, acc *schema.AccessSchema, db *storage.Database, op
 	if err := db.EnsureIndexes(acc); err != nil {
 		return nil, fmt.Errorf("engine: indexing database: %w", err)
 	}
-	return assemble(cat, db, dbSource{db: db, acc: acc}, opts), nil
+	return assemble(cat, db, dbSource{db: db, acc: acc, cs: db.CardStats()}, opts), nil
 }
 
 // NewLive builds an engine over a live store: executions pin the store's
@@ -270,9 +287,14 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:  e.misses.Load(),
 		Evictions:    e.evictions.Load(),
 		StaleRetries: e.staleRetries.Load(),
+		Replans:      e.replans.Load(),
 		Execs:        e.execs.Load(),
 	}
 }
+
+// CardStats returns the source store's current cardinality statistics —
+// what the planner would run on right now.
+func (e *Engine) CardStats() stats.Snapshot { return e.src.CardStats() }
 
 // CacheLen returns the number of cached plans.
 func (e *Engine) CacheLen() int {
@@ -315,13 +337,17 @@ func (e *Engine) Exec(text string, args ...value.Value) (*exec.Result, error) {
 
 // prepare serves a validated query from the plan cache, planning it at
 // most once per fingerprint per schema/epoch version. Successful plans
-// are cached forever (live admission keeps them sound across epochs);
-// errors are cached tagged with the source version and retried once the
-// version advances — ingest, compaction or a schema extension may have
-// made the shape answerable. The engine mutex is never held across the
-// boundedness analysis: concurrent prepares of distinct fingerprints
-// overlap, and same-fingerprint prepares coalesce on one in-flight
-// analysis.
+// stay sound forever (live admission keeps D |= A invariant across
+// epochs) but are *versioned by a stats fingerprint*: a cache hit whose
+// plan was costed against cardinalities that have since drifted past the
+// re-planning threshold (roughly 2× on a constraint the plan probes) is
+// discarded and rebuilt against current statistics — correctness never
+// required it, performance did. Errors are cached tagged with the source
+// version and retried once the version advances — ingest, compaction or
+// a schema extension may have made the shape answerable. The engine
+// mutex is never held across the boundedness analysis: concurrent
+// prepares of distinct fingerprints overlap, and same-fingerprint
+// prepares coalesce on one in-flight analysis.
 func (e *Engine) prepare(q *spc.Query) (*Prepared, error) {
 	e.prepares.Add(1)
 	fp := fingerprint(q)
@@ -336,8 +362,25 @@ func (e *Engine) prepare(q *spc.Query) (*Prepared, error) {
 		e.mu.Lock()
 		if ent, ok := e.cache.Get(fp); ok {
 			e.mu.Unlock()
-			e.hits.Add(1)
-			return ent.prep, nil
+			// Drift check outside the mutex: CardStats is lock-free but
+			// materializes a (small) snapshot, and this runs on every
+			// cache hit — the one path that must never serialize behind
+			// the engine mutex under serving load.
+			if ent.prep.statsFP == "" || e.src.CardStats().Fingerprint(ent.prep.acKeys) == ent.prep.statsFP {
+				e.hits.Add(1)
+				return ent.prep, nil
+			}
+			// Observed cardinalities drifted: re-plan without restart.
+			// Remove only the entry we judged stale — a concurrent
+			// prepare may already have rebuilt a fresh one under this
+			// fingerprint, which must survive.
+			e.mu.Lock()
+			if cur, ok := e.cache.Get(fp); ok && cur == ent {
+				e.cache.Remove(fp)
+				e.replans.Add(1)
+			}
+			e.mu.Unlock()
+			continue
 		}
 		if ent, ok := e.errs.Get(fp); ok {
 			if ent.version >= ver {

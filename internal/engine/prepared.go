@@ -29,6 +29,13 @@ type Prepared struct {
 	// slots aligns with query.Placeholders: how each positional argument
 	// reaches the plan.
 	slots []paramSlot
+	// acKeys are the access constraints the plan probes (fetch steps and
+	// retrieval witnesses), and statsFP the quantized fingerprint of
+	// their observed cardinalities at planning time. A cache hit whose
+	// source fingerprint no longer matches triggers a re-plan (see
+	// Engine.prepare).
+	acKeys  []string
+	statsFP string
 }
 
 // paramSlot says how one placeholder argument binds into the plan.
@@ -85,16 +92,43 @@ func (e *Engine) build(q *spc.Query, acc *schema.AccessSchema) (*Prepared, error
 	if err != nil {
 		return nil, err
 	}
-	pl, err := plan.QPlan(an)
+	cs := e.src.CardStats()
+	pl, err := plan.Optimize(an, &cs)
 	if err != nil {
 		return nil, err
 	}
-	// Re-key the slots to the instantiated closure: QPlan's seeds carry
+	// Re-key the slots to the instantiated closure: the plan's seeds carry
 	// its class numbering, which instantiation may have changed.
 	for i := range slots {
 		slots[i].class = pl.Closure.MustClass(slots[i].ref)
 	}
-	return &Prepared{eng: e, query: q, pl: pl, slots: slots}, nil
+	acKeys := planACKeys(pl)
+	return &Prepared{
+		eng: e, query: q, pl: pl, slots: slots,
+		acKeys: acKeys, statsFP: cs.Fingerprint(acKeys),
+	}, nil
+}
+
+// planACKeys collects the constraints a plan probes — the slice of the
+// cardinality statistics its cost depends on.
+func planACKeys(pl *plan.Plan) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(key string) {
+		if key != "" && !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	for _, st := range pl.Steps {
+		add(st.AC.Key())
+	}
+	for _, vs := range pl.Verifies {
+		if !vs.Exists && vs.FromStep < 0 {
+			add(vs.Witness.Key())
+		}
+	}
+	return out
 }
 
 // sentinel produces the opaque constant a placeholder class is planned
@@ -124,6 +158,25 @@ func (p *Prepared) Plan() *plan.Plan { return p.pl }
 
 // FetchBound is the plan's worst-case data access, the paper's M.
 func (p *Prepared) FetchBound() deduce.Bound { return p.pl.FetchBound }
+
+// EstFetch is the cost model's expected tuples fetched, from the
+// cardinality statistics current when the plan was generated.
+func (p *Prepared) EstFetch() float64 { return p.pl.EstFetch }
+
+// StatsFingerprint is the quantized cardinality fingerprint the plan was
+// costed against; the plan cache re-plans when the store's current
+// fingerprint for the same constraints differs.
+func (p *Prepared) StatsFingerprint() string { return p.statsFP }
+
+// Explain renders the plan with its cost estimates; pass a Result from
+// Exec to print each step's actual probe and fetch counts alongside.
+func (p *Prepared) Explain(res *exec.Result) string {
+	opts := plan.ExplainOptions{Estimates: p.pl.CostBased}
+	if res != nil {
+		opts.Actuals = &plan.Actuals{Steps: res.StepStats, Verifies: res.VerifyStats}
+	}
+	return p.pl.ExplainOpts(opts)
+}
 
 // NumParams returns the number of placeholder slots Exec expects.
 func (p *Prepared) NumParams() int { return len(p.slots) }

@@ -86,6 +86,13 @@ type PartitionedStore interface {
 	FetchShard(shard int, ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, error)
 }
 
+// StepAccess is the actual data access of one plan operation: how many
+// index probes it issued and how many tuples (index entries) they
+// returned. The per-step breakdown is what lets plan.Explain print
+// estimated versus actual costs side by side (the type lives in plan so
+// Explain can consume it without importing exec).
+type StepAccess = plan.StepAccess
+
 // Result is a query answer plus the access statistics of the evaluation.
 type Result struct {
 	// Cols are the output column names (empty for Boolean queries).
@@ -98,6 +105,11 @@ type Result struct {
 	// DQSize is |D_Q|: the number of distinct database tuples the
 	// evaluation fetched (witnesses, deduplicated per relation position).
 	DQSize int64
+	// StepStats aligns with the plan's fetch steps, VerifyStats with its
+	// verification steps (verifications after an empty table short-circuits
+	// the evaluation report zero access). Both are nil for trivial plans.
+	StepStats   []StepAccess
+	VerifyStats []StepAccess
 }
 
 // Bool interprets a Boolean query's result.
@@ -195,6 +207,8 @@ func (r *run) execute() (*Result, error) {
 	}
 
 	r.dq = newDQTracker()
+	r.res.StepStats = make([]StepAccess, len(r.p.Steps))
+	r.res.VerifyStats = make([]StepAccess, len(r.p.Verifies))
 
 	// Phase 0: seed candidate sets.
 	r.V = make([]*candSet, r.p.Closure.NumClasses())
@@ -239,8 +253,10 @@ func (r *run) grow() error {
 		if err != nil {
 			return err
 		}
+		r.res.StepStats[si].Lookups = int64(len(xs))
 		// Deterministic merge, in probe order.
 		for i, entries := range groups {
+			r.res.StepStats[si].Fetched += int64(len(entries))
 			shard := 0
 			if owners != nil {
 				shard = owners[i]
@@ -264,7 +280,7 @@ func (r *run) grow() error {
 // query's answer is then empty, and — matching sequential semantics —
 // later verifications are skipped).
 func (r *run) verify() (tables []rowTable, empty bool, err error) {
-	for _, vs := range r.p.Verifies {
+	for vi, vs := range r.p.Verifies {
 		if vs.Exists {
 			ok, err := r.db.NonEmpty(r.p.Query.Atoms[vs.Atom].Rel)
 			if err != nil {
@@ -273,7 +289,10 @@ func (r *run) verify() (tables []rowTable, empty bool, err error) {
 			if !ok {
 				return nil, true, nil
 			}
-			r.fetched++ // the probe read one tuple
+			r.fetched++ // the probe read one tuple (no index lookup:
+			// NonEmpty is an O(1) existence check, counted as zero probes
+			// here and in the estimates alike)
+			r.res.VerifyStats[vi].Fetched = 1
 			continue
 		}
 		classes := make([]int, len(vs.Row))
@@ -305,7 +324,9 @@ func (r *run) verify() (tables []rowTable, empty bool, err error) {
 			if err != nil {
 				return nil, false, err
 			}
+			r.res.VerifyStats[vi].Lookups = int64(len(xs))
 			for i, entries := range groups {
+				r.res.VerifyStats[vi].Fetched += int64(len(entries))
 				shard := 0
 				if owners != nil {
 					shard = owners[i]

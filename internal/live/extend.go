@@ -120,6 +120,20 @@ func (st *Store) publishExtension(ac schema.AccessConstraint, ext *extension) er
 	st.byKey = newByKey
 	st.byRel[ac.Rel] = append(st.byRel[ac.Rel], ext.bind)
 	st.pairs[ext.bind.key] = ext.pairs
+	// Publish the new constraint's cardinality card, built from the
+	// scanned group map, alongside the existing cards (copy-on-write so
+	// lock-free CardStats readers never see a partial map).
+	card := newACCard()
+	for xk, g := range ext.groups {
+		card.bump(xk, int64(len(g)))
+	}
+	oldCards := *st.cards.Load()
+	newCards := make(map[string]*acCard, len(oldCards)+1)
+	for k, c := range oldCards {
+		newCards[k] = c
+	}
+	newCards[ext.bind.key] = card
+	st.cards.Store(&newCards)
 	// Publication order matters twice over. The snapshot goes first: a
 	// reader that saw the new schema and planned with the new constraint
 	// must find the constraint's binds in whatever snapshot it pins next

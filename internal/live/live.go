@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"bcq/internal/schema"
+	"bcq/internal/stats"
 	"bcq/internal/storage"
 	"bcq/internal/value"
 )
@@ -189,6 +190,78 @@ type acBinding struct {
 	yPos []int
 }
 
+// acCard is one constraint's incrementally maintained index shape: how
+// many X-groups are live, how many distinct (X, Y) entries, and the
+// exact current maximum group size. The counters are atomic so readers
+// (the engine's plan-drift check runs per prepared-query cache hit)
+// never take the writer mutex; the maps are writer-owned, mutated only
+// under the store mutex.
+type acCard struct {
+	groups, entries, maxGroup atomic.Int64
+	// xLive is the live entry count per X-key (groups = #keys with > 0).
+	xLive map[string]int64
+	// sizeCount is the multiset of group sizes (size → #groups of that
+	// size), which is what keeps maxGroup exact under deletes: when the
+	// last group of the maximal size shrinks, the max walks down to the
+	// next occupied size.
+	sizeCount map[int64]int64
+}
+
+func newACCard() *acCard {
+	return &acCard{xLive: make(map[string]int64), sizeCount: make(map[int64]int64)}
+}
+
+// resize moves one group between size classes, keeping maxGroup exact.
+func (c *acCard) resize(from, to int64) {
+	if from == to {
+		return
+	}
+	if from > 0 {
+		if c.sizeCount[from]--; c.sizeCount[from] == 0 {
+			delete(c.sizeCount, from)
+		}
+	}
+	if to > 0 {
+		c.sizeCount[to]++
+	}
+	max := c.maxGroup.Load()
+	if to > max {
+		c.maxGroup.Store(to)
+		return
+	}
+	if from == max && c.sizeCount[max] == 0 {
+		for max > 0 && c.sizeCount[max] == 0 {
+			max--
+		}
+		c.maxGroup.Store(max)
+	}
+}
+
+// bump applies a live-entry delta to one X-group, maintaining all three
+// counters. Called under the store mutex.
+func (c *acCard) bump(xk string, delta int64) {
+	if delta == 0 {
+		return
+	}
+	from := c.xLive[xk]
+	to := from + delta
+	switch {
+	case to <= 0:
+		delete(c.xLive, xk)
+		to = 0
+	default:
+		c.xLive[xk] = to
+	}
+	if from == 0 && to > 0 {
+		c.groups.Add(1)
+	}
+	if from > 0 && to == 0 {
+		c.groups.Add(-1)
+	}
+	c.entries.Add(delta)
+	c.resize(from, to)
+}
+
 // pairEntry is the writer-side bookkeeping of one live (X, Y) pair of one
 // constraint: its multiplicity and the positions of all tuples that ever
 // carried it (dead ones are skipped through the snapshot's deleted sets).
@@ -229,6 +302,11 @@ type Store struct {
 	byKey map[string]acBinding
 	// pairs is per constraint key the live (X, Y) pair bookkeeping.
 	pairs map[string]map[string]*pairEntry
+	// cards is per constraint key the incrementally maintained index
+	// shape (see acCard). The map value is replaced wholesale by
+	// ExtendAccess and Compact; counters inside are atomic, so CardStats
+	// reads without the writer mutex.
+	cards atomic.Pointer[map[string]*acCard]
 	// tupPos maps rel → tuple key → positions of all occurrences ever
 	// (base and added; dead ones skipped via the deleted sets).
 	tupPos map[string]map[string][]int
@@ -313,21 +391,26 @@ func (st *Store) bootstrap(base *storage.Database) (size map[string]int64, total
 	st.baseLen = make(map[string]int, st.cat.NumRelations())
 	st.tupPos = make(map[string]map[string][]int, st.cat.NumRelations())
 	st.pairs = make(map[string]map[string]*pairEntry, len(st.byKey))
+	cards := make(map[string]*acCard, len(st.byKey))
 	for key, b := range st.byKey {
 		rel := base.MustRelation(b.ac.Rel)
 		pairs := make(map[string]*pairEntry)
+		card := newACCard()
 		for pos, t := range rel.Tuples {
 			pk := pairKey(t, b.xPos, b.yPos)
 			pe := pairs[pk]
 			if pe == nil {
 				pe = &pairEntry{}
 				pairs[pk] = pe
+				card.bump(value.KeyOf(t, b.xPos), 1)
 			}
 			pe.count++
 			pe.positions = append(pe.positions, pos)
 		}
 		st.pairs[key] = pairs
+		cards[key] = card
 	}
+	st.cards.Store(&cards)
 	size = make(map[string]int64, st.cat.NumRelations())
 	for _, rs := range st.cat.Relations() {
 		rel := base.MustRelation(rs.Name())
@@ -503,6 +586,30 @@ func (st *Store) ResetStats() {
 		c.fetched.Store(0)
 		c.scanned.Store(0)
 	}
+}
+
+// CardStats returns the store's current cardinality statistics:
+// per-relation live row counts and, per maintained constraint, the
+// incrementally tracked index shape (live X-groups, distinct (X, Y)
+// entries, exact max group size). The read is lock-free — sizes come
+// from the published snapshot, shape counters are atomic — so the
+// engine's plan-drift check never contends with writers. The numbers
+// match what a from-scratch recount over the live data would produce
+// (property-tested against Freeze).
+func (st *Store) CardStats() stats.Snapshot {
+	out := stats.New()
+	snap := st.cur.Load()
+	for rel, n := range snap.size {
+		out.Rels[rel] = stats.RelCard{Rows: n}
+	}
+	for key, card := range *st.cards.Load() {
+		out.ACs[key] = stats.ACCard{
+			Groups:   card.groups.Load(),
+			Entries:  card.entries.Load(),
+			MaxGroup: card.maxGroup.Load(),
+		}
+	}
+	return out
 }
 
 // IngestStats returns a snapshot of the write-side counters.

@@ -30,6 +30,11 @@ type txn struct {
 	// pairAdd records positions this batch appends to pair position
 	// lists: acKey → pairKey → positions.
 	pairAdd map[string]map[string][]int
+	// cardDelta is the batch's net change in live distinct entries per
+	// X-group: acKey → xKey → delta. +1 when a pair is born (first live
+	// occurrence), −1 when it dies (last occurrence deleted); folded into
+	// the store's cardinality cards on commit.
+	cardDelta map[string]map[string]int64
 	// quarantined collects Permissive-mode refusals, merged on commit.
 	quarantined []Quarantined
 	// nApplied counts ops that took effect.
@@ -45,7 +50,18 @@ func newTxn(st *Store, snap *Snapshot) *txn {
 		delNew:    make(map[string]map[int]bool),
 		pairDelta: make(map[string]map[string]int),
 		pairAdd:   make(map[string]map[string][]int),
+		cardDelta: make(map[string]map[string]int64),
 	}
+}
+
+// bumpCard records a live-entry birth (+1) or death (−1) in one X-group.
+func (tx *txn) bumpCard(acKey, xk string, delta int64) {
+	m := tx.cardDelta[acKey]
+	if m == nil {
+		m = make(map[string]int64)
+		tx.cardDelta[acKey] = m
+	}
+	m[xk] += delta
 }
 
 // group returns the batch's working copy of one X-group, materializing it
@@ -177,6 +193,7 @@ func (tx *txn) insert(op Op) error {
 			copy(ng, g)
 			ng = append(ng, storage.IndexEntry{Y: t.Project(b.yPos), Witness: t, Pos: pos})
 			tx.setGroup(b.key, xk, ng)
+			tx.bumpCard(b.key, xk, 1)
 		}
 		tx.bumpPair(b.key, pk, +1, pos)
 	}
@@ -216,6 +233,7 @@ func (tx *txn) delete(op Op) error {
 				}
 			}
 			tx.setGroup(b.key, xk, ng)
+			tx.bumpCard(b.key, xk, -1)
 		} else if w, found := tx.firstLivePair(op.Rel, b.key, pk, pos); found {
 			// The pair survives; if the deleted tuple was its witness,
 			// re-witness to the first remaining live occurrence.
@@ -292,6 +310,16 @@ const maxChainDepth = 16
 func (st *Store) commit(tx *txn) uint64 {
 	published := tx.snap.epoch
 	if tx.nApplied > 0 {
+		// Fold the cardinality deltas into the shape cards. Each X-group's
+		// net delta is applied once, so the maintained groups/entries/max
+		// counters stay equal to a from-scratch recount of the live data.
+		cards := *st.cards.Load()
+		for acKey, dm := range tx.cardDelta {
+			card := cards[acKey]
+			for xk, delta := range dm {
+				card.bump(xk, delta)
+			}
+		}
 		// Fold pair deltas and position appends into the writer state.
 		for acKey, dm := range tx.pairDelta {
 			pairs := st.pairs[acKey]

@@ -55,6 +55,12 @@ type FetchStep struct {
 	// StepBound is the worst-case number of tuples this step fetches:
 	// (∏ candidate bounds of X classes) · N.
 	StepBound deduce.Bound
+	// EstLookups and EstFetch are the cost model's expectations for this
+	// step — estimated index probes and estimated tuples fetched, from
+	// observed cardinality statistics (or declared bounds when no
+	// statistics were supplied). Zero on plans QPlan emits without a cost
+	// model.
+	EstLookups, EstFetch float64
 }
 
 // RowSource says where a verified row's class value comes from when
@@ -97,6 +103,10 @@ type VerifyStep struct {
 	// StepBound is the worst-case number of tuples fetched (0 when
 	// collecting from a previous step).
 	StepBound deduce.Bound
+	// EstLookups and EstFetch are the cost model's expectations for the
+	// retrieval (both zero when collecting from a previous step, or when
+	// the plan carries no cost model).
+	EstLookups, EstFetch float64
 }
 
 // Plan is a bounded query plan.
@@ -125,6 +135,12 @@ type Plan struct {
 	// Trivial marks plans for unsatisfiable queries: the executor returns
 	// the empty answer without touching the database.
 	Trivial bool
+	// CostBased marks plans produced by Optimize; EstFetch is then the
+	// cost model's expected total tuples fetched (Σ step and verification
+	// estimates — the quantity the ordering search minimized), as opposed
+	// to the worst-case FetchBound.
+	CostBased bool
+	EstFetch  float64
 }
 
 // Seed pins a class to a constant value (one instantiated parameter of

@@ -3,6 +3,7 @@ package plan
 import (
 	"bcq/internal/core"
 	"bcq/internal/deduce"
+	"bcq/internal/schema"
 	"bcq/internal/spc"
 )
 
@@ -25,25 +26,74 @@ import (
 //     X^i_Q (the Combination rule made executable);
 //  5. the bound M = Σ step bounds is the plan's worst-case data access.
 //
+// QPlan keeps the derivation's own firing order — constraints ascending by
+// declared N, fired as they become ready. Optimize searches alternative
+// orders (and witness choices) against cardinality statistics; both share
+// the emission below, so every plan either produces carries the same
+// soundness argument.
+//
 // Complexity: O(|Q||A|) beyond the EBCheck closure, well within the
 // paper's O(|Q|²|A|³).
 func QPlan(an *core.Analysis) (*Plan, error) {
+	eb, trivial, err := analyze(an)
+	if trivial != nil || err != nil {
+		return trivial, err
+	}
+	return emit(an, eb, derivationSeq(eb), naiveWitness(an))
+}
+
+// analyze runs the shared front half of both planners: the trivial
+// (unsatisfiable) short-circuit and EBCheck. Exactly one of the three
+// results is meaningful.
+func analyze(an *core.Analysis) (eb core.EBResult, trivial *Plan, err error) {
+	cl := an.Closure
+	if !cl.Satisfiable() {
+		p := &Plan{Query: cl.Query(), Closure: cl, Trivial: true}
+		p.CombBound = deduce.NewBound(0)
+		p.FetchBound = deduce.NewBound(0)
+		return core.EBResult{}, p, nil
+	}
+	eb = an.EBCheck()
+	if !eb.EffectivelyBounded {
+		return eb, nil, &NotEffectivelyBoundedError{Result: eb}
+	}
+	return eb, nil, nil
+}
+
+// derivationSeq flattens the EBCheck derivation into its firing sequence
+// (act indices, in firing order) — the naive plan order.
+func derivationSeq(eb core.EBResult) []int {
+	seq := make([]int, len(eb.Derivation.Steps))
+	for i, st := range eb.Derivation.Steps {
+		seq[i] = st.Act
+	}
+	return seq
+}
+
+// witnessPicker chooses the indexedness witness a verification step
+// retrieves through, given the atom's parameter attributes and the
+// per-class candidate bounds at emission time.
+type witnessPicker func(atom int, rel string, attrs []string, cand []deduce.Bound) (schema.AccessConstraint, bool)
+
+// naiveWitness is QPlan's witness rule: the declared-N-minimal witness
+// (AccessSchema.Indexed).
+func naiveWitness(an *core.Analysis) witnessPicker {
+	return func(_ int, rel string, attrs []string, _ []deduce.Bound) (schema.AccessConstraint, bool) {
+		return an.Access.Indexed(rel, attrs)
+	}
+}
+
+// emit turns a firing sequence into a bounded plan: backward-prune the
+// sequence to the firings that contribute to covering parameter classes,
+// then run steps 3–5 of the QPlan construction over the kept firings in
+// order. The sequence may be any order in which every firing's X classes
+// are covered (by X_C or earlier firings) before it fires — the
+// derivation order and every order the optimizer searches satisfy this
+// by construction.
+func emit(an *core.Analysis, eb core.EBResult, seq []int, pick witnessPicker) (*Plan, error) {
 	cl := an.Closure
 	q := cl.Query()
 	p := &Plan{Query: q, Closure: cl}
-
-	if !cl.Satisfiable() {
-		p.Trivial = true
-		p.CombBound = deduce.NewBound(0)
-		p.FetchBound = deduce.NewBound(0)
-		return p, nil
-	}
-
-	eb := an.EBCheck()
-	if !eb.EffectivelyBounded {
-		return nil, &NotEffectivelyBoundedError{Result: eb}
-	}
-	deriv := eb.Derivation
 
 	// Parameter classes that need candidate values.
 	needed := spc.NewClassSet(cl.NumClasses())
@@ -51,14 +101,26 @@ func QPlan(an *core.Analysis) (*Plan, error) {
 		needed.AddAll(cl.AtomParams(i))
 	}
 
-	// Step 2: backward pruning. keep[s] marks derivation firings that
-	// first-cover a needed class; the X classes of kept firings become
-	// needed in turn.
-	keep := make([]bool, len(deriv.Steps))
-	for s := len(deriv.Steps) - 1; s >= 0; s-- {
-		st := deriv.Steps[s]
+	// Simulate first-covers: firstBind[k] lists the classes firing k is
+	// the first in the sequence to cover (the derivation's NewClasses,
+	// generalized to arbitrary sequences).
+	covered := cl.XC().Clone()
+	firstBind := make([][]int, len(seq))
+	for k, ai := range seq {
+		for _, c := range an.Acts[ai].YClasses {
+			if !covered.Has(c) {
+				covered.Add(c)
+				firstBind[k] = append(firstBind[k], c)
+			}
+		}
+	}
+
+	// Step 2: backward pruning. keep[k] marks firings that first-cover a
+	// needed class; the X classes of kept firings become needed in turn.
+	keep := make([]bool, len(seq))
+	for k := len(seq) - 1; k >= 0; k-- {
 		useful := false
-		for _, c := range st.NewClasses {
+		for _, c := range firstBind[k] {
 			if needed.Has(c) {
 				useful = true
 				break
@@ -67,8 +129,8 @@ func QPlan(an *core.Analysis) (*Plan, error) {
 		if !useful {
 			continue
 		}
-		keep[s] = true
-		for _, c := range an.Acts[st.Act].XClasses {
+		keep[k] = true
+		for _, c := range an.Acts[seq[k]].XClasses {
 			needed.Add(c)
 		}
 	}
@@ -91,11 +153,11 @@ func QPlan(an *core.Analysis) (*Plan, error) {
 		populated.Add(c)
 	}
 	fetch := deduce.NewBound(0)
-	for s, st := range deriv.Steps {
-		if !keep[s] {
+	for k, ai := range seq {
+		if !keep[k] {
 			continue
 		}
-		act := an.Acts[st.Act]
+		act := an.Acts[ai]
 		fs := FetchStep{Atom: act.Atom, AC: act.AC}
 		xb := deduce.NewBound(1)
 		seenX := map[int]bool{}
@@ -166,7 +228,7 @@ func QPlan(an *core.Analysis) (*Plan, error) {
 			}
 		}
 		if vs.FromStep < 0 {
-			w, ok := an.Access.Indexed(atom.Rel, attrs)
+			w, ok := pick(i, atom.Rel, attrs, cand)
 			if !ok {
 				// EBCheck guarantees indexedness; reaching here is a bug.
 				return nil, &NotEffectivelyBoundedError{Result: eb}

@@ -250,6 +250,26 @@ func (a *AccessSchema) Indexed(rel string, y []string) (witness AccessConstraint
 	return witness, found
 }
 
+// IndexedAll returns every indexedness witness of (rel, y) — each
+// constraint with X ⊆ y ⊆ X ∪ Y — in declaration order. The cost-based
+// planner chooses among them by estimated retrieval cost, where Indexed
+// commits to the smallest declared N. An empty y has no witnesses (it is
+// trivially indexed; see Indexed).
+func (a *AccessSchema) IndexedAll(rel string, y []string) []AccessConstraint {
+	ys := dedupSorted(y)
+	if len(ys) == 0 {
+		return nil
+	}
+	var out []AccessConstraint
+	for _, i := range a.byRel[rel] {
+		ac := a.constraints[i]
+		if subset(ac.X, ys) && subset(ys, ac.XY()) {
+			out = append(out, ac)
+		}
+	}
+	return out
+}
+
 // String renders the constraints one per line, in insertion order.
 func (a *AccessSchema) String() string {
 	var b strings.Builder

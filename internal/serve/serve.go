@@ -45,6 +45,7 @@ import (
 	"bcq/internal/engine"
 	"bcq/internal/exec"
 	"bcq/internal/live"
+	"bcq/internal/stats"
 	"bcq/internal/storage"
 	"bcq/internal/value"
 )
@@ -379,16 +380,29 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return errResult(http.StatusUnprocessableEntity, "%v", err)
 		}
+		pl := p.Plan()
+		order := make([]string, len(pl.Steps))
+		for i, st := range pl.Steps {
+			order[i] = fmt.Sprintf("%s via %s", pl.Query.Atoms[st.Atom].Alias, st.AC)
+		}
 		return handlerResult{status: http.StatusOK, v: struct {
-			Fingerprint string `json:"fingerprint"`
-			NumParams   int    `json:"num_params"`
-			FetchBound  string `json:"fetch_bound"`
-			PlanSteps   int    `json:"plan_steps"`
+			Fingerprint string   `json:"fingerprint"`
+			NumParams   int      `json:"num_params"`
+			FetchBound  string   `json:"fetch_bound"`
+			PlanSteps   int      `json:"plan_steps"`
+			EstFetch    float64  `json:"est_fetch"`
+			FetchOrder  []string `json:"fetch_order"`
+			StatsFP     string   `json:"stats_fingerprint"`
+			Explain     string   `json:"explain"`
 		}{
 			Fingerprint: p.Query().String(),
 			NumParams:   p.NumParams(),
 			FetchBound:  p.FetchBound().String(),
-			PlanSteps:   len(p.Plan().Steps),
+			PlanSteps:   len(pl.Steps),
+			EstFetch:    p.EstFetch(),
+			FetchOrder:  order,
+			StatsFP:     p.StatsFingerprint(),
+			Explain:     p.Explain(nil),
 		}}
 	})
 }
@@ -454,6 +468,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// prober never contends with writers or view pins.
 		Epoch: s.eng.EpochKey(),
 	}
+	// Cardinality statistics: what the cost-based planner sees right now
+	// (lock-free reads, like the rest of /stats).
+	card := s.eng.CardStats()
+	st.Cardinality = &card
 	if s.metrics != nil {
 		if n, ok := s.metrics.(interface{ NumTuples() int64 }); ok {
 			st.NumTuples = n.NumTuples()
@@ -478,13 +496,14 @@ type serverStats struct {
 
 // statsResponse is the /stats document.
 type statsResponse struct {
-	Engine    engine.Stats             `json:"engine"`
-	Cache     CacheStats               `json:"result_cache"`
-	Server    serverStats              `json:"server"`
-	Epoch     string                   `json:"epoch"`
-	NumTuples int64                    `json:"num_tuples"`
-	Access    *storage.Stats           `json:"access,omitempty"`
-	Relations map[string]storage.Stats `json:"relations,omitempty"`
+	Engine      engine.Stats             `json:"engine"`
+	Cache       CacheStats               `json:"result_cache"`
+	Server      serverStats              `json:"server"`
+	Epoch       string                   `json:"epoch"`
+	NumTuples   int64                    `json:"num_tuples"`
+	Access      *storage.Stats           `json:"access,omitempty"`
+	Relations   map[string]storage.Stats `json:"relations,omitempty"`
+	Cardinality *stats.Snapshot          `json:"cardinality,omitempty"`
 }
 
 // handleHealthz answers GET /healthz. The epoch comes from the display

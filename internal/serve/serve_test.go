@@ -14,6 +14,7 @@ import (
 	"bcq/internal/engine"
 	"bcq/internal/live"
 	"bcq/internal/schema"
+	"bcq/internal/stats"
 	"bcq/internal/storage"
 	"bcq/internal/value"
 )
@@ -237,16 +238,23 @@ func TestPrepareEndpoint(t *testing.T) {
 		t.Fatalf("status %d: %s", code, raw)
 	}
 	var resp struct {
-		Fingerprint string `json:"fingerprint"`
-		NumParams   int    `json:"num_params"`
-		FetchBound  string `json:"fetch_bound"`
-		PlanSteps   int    `json:"plan_steps"`
+		Fingerprint string   `json:"fingerprint"`
+		NumParams   int      `json:"num_params"`
+		FetchBound  string   `json:"fetch_bound"`
+		PlanSteps   int      `json:"plan_steps"`
+		EstFetch    float64  `json:"est_fetch"`
+		FetchOrder  []string `json:"fetch_order"`
+		StatsFP     string   `json:"stats_fingerprint"`
+		Explain     string   `json:"explain"`
 	}
 	if err := json.Unmarshal(raw, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.NumParams != 1 || resp.Fingerprint == "" || resp.FetchBound == "" {
 		t.Errorf("prepare response %+v incomplete", resp)
+	}
+	if len(resp.FetchOrder) != resp.PlanSteps || resp.StatsFP == "" || !strings.Contains(resp.Explain, "cost-based") {
+		t.Errorf("prepare response lacks cost-based plan fields: %+v", resp)
 	}
 
 	code, _ = post(t, hs.URL+"/prepare", `{"query": "select photo_id from in_album"}`)
@@ -361,10 +369,11 @@ func TestStatsAndHealth(t *testing.T) {
 		Engine struct {
 			Prepares int64 `json:"Prepares"`
 		} `json:"engine"`
-		Cache     CacheStats               `json:"result_cache"`
-		Epoch     string                   `json:"epoch"`
-		NumTuples int64                    `json:"num_tuples"`
-		Relations map[string]storage.Stats `json:"relations"`
+		Cache       CacheStats               `json:"result_cache"`
+		Epoch       string                   `json:"epoch"`
+		NumTuples   int64                    `json:"num_tuples"`
+		Relations   map[string]storage.Stats `json:"relations"`
+		Cardinality *stats.Snapshot          `json:"cardinality"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
@@ -374,6 +383,9 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 	if _, ok := st.Relations["in_album"]; !ok {
 		t.Errorf("stats lack the per-relation breakdown: %+v", st.Relations)
+	}
+	if st.Cardinality == nil || len(st.Cardinality.ACs) == 0 || st.Cardinality.Rels["in_album"].Rows == 0 {
+		t.Errorf("stats lack the cardinality block: %+v", st.Cardinality)
 	}
 
 	hz, err := http.Get(hs.URL + "/healthz")

@@ -59,6 +59,7 @@ import (
 
 	"bcq/internal/live"
 	"bcq/internal/schema"
+	"bcq/internal/stats"
 	"bcq/internal/storage"
 	"bcq/internal/value"
 )
@@ -723,6 +724,19 @@ func (st *Store) RelStats() map[string]storage.Stats {
 			agg.TuplesScanned += s.TuplesScanned
 			out[rel] = agg
 		}
+	}
+	return out
+}
+
+// CardStats merges the shards' cardinality statistics into one logical
+// snapshot: rows, groups and entries sum — exact, because shards hold
+// disjoint tuples and the placement invariant keeps every index group
+// whole on one shard, so no group is double-counted — and the max group
+// size is the max across shards. Lock-free, like the per-shard reads.
+func (st *Store) CardStats() stats.Snapshot {
+	out := stats.New()
+	for _, ls := range st.shards {
+		out = out.Merge(ls.CardStats())
 	}
 	return out
 }

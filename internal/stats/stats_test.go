@@ -1,0 +1,56 @@
+package stats
+
+import "testing"
+
+func TestAvgGroup(t *testing.T) {
+	if got := (ACCard{}).AvgGroup(); got != 0 {
+		t.Errorf("empty index AvgGroup = %v, want 0", got)
+	}
+	if got := (ACCard{Groups: 4, Entries: 10}).AvgGroup(); got != 2.5 {
+		t.Errorf("AvgGroup = %v, want 2.5", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.Rels["r"] = RelCard{Rows: 3}
+	a.ACs["k"] = ACCard{Groups: 2, Entries: 5, MaxGroup: 3}
+	b := New()
+	b.Rels["r"] = RelCard{Rows: 4}
+	b.Rels["s"] = RelCard{Rows: 1}
+	b.ACs["k"] = ACCard{Groups: 1, Entries: 2, MaxGroup: 2}
+	m := a.Merge(b)
+	if m.Rels["r"].Rows != 7 || m.Rels["s"].Rows != 1 {
+		t.Errorf("merged rows = %v", m.Rels)
+	}
+	if ac := m.ACs["k"]; ac.Groups != 3 || ac.Entries != 7 || ac.MaxGroup != 3 {
+		t.Errorf("merged AC = %+v", ac)
+	}
+}
+
+func TestFingerprintQuantization(t *testing.T) {
+	s := New()
+	s.ACs["k"] = ACCard{Groups: 100, Entries: 200} // avg 2
+	base := s.Fingerprint([]string{"k"})
+
+	// Small drift (avg 2 → 3.9, same power-of-two bucket) keeps the
+	// fingerprint stable; a ~2× drift moves it.
+	s.ACs["k"] = ACCard{Groups: 100, Entries: 390}
+	if got := s.Fingerprint([]string{"k"}); got != base {
+		t.Errorf("sub-threshold drift changed fingerprint: %q vs %q", got, base)
+	}
+	s.ACs["k"] = ACCard{Groups: 100, Entries: 800} // avg 8
+	if got := s.Fingerprint([]string{"k"}); got == base {
+		t.Errorf("4× drift kept fingerprint %q", got)
+	}
+
+	// Key order does not matter; unknown keys render distinctly from
+	// present ones.
+	s.ACs["j"] = ACCard{Groups: 1, Entries: 1}
+	if s.Fingerprint([]string{"j", "k"}) != s.Fingerprint([]string{"k", "j"}) {
+		t.Error("fingerprint depends on key order")
+	}
+	if s.Fingerprint([]string{"missing"}) == s.Fingerprint([]string{"j"}) {
+		t.Error("missing key indistinguishable from a present one")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"bcq/internal/schema"
+	"bcq/internal/stats"
 	"bcq/internal/value"
 )
 
@@ -211,6 +212,26 @@ func (db *Database) ResetStats() {
 	for _, c := range db.relStats {
 		c.reset()
 	}
+}
+
+// CardStats returns the database's cardinality statistics: per-relation
+// row counts and, for every built access index, its observed shape
+// (distinct X-groups, distinct (X, Y) entries, largest group). On a
+// sealed database the snapshot is constant; the cost-based planner reads
+// it to replace declared worst-case bounds N with observed averages.
+func (db *Database) CardStats() stats.Snapshot {
+	out := stats.New()
+	for name, r := range db.rels {
+		out.Rels[name] = stats.RelCard{Rows: int64(len(r.Tuples))}
+	}
+	for key, idx := range db.access {
+		out.ACs[key] = stats.ACCard{
+			Groups:   idx.NumGroups(),
+			Entries:  idx.NumEntries(),
+			MaxGroup: int64(idx.MaxGroup()),
+		}
+	}
+	return out
 }
 
 // RelStats returns a per-relation breakdown of the access counters: which

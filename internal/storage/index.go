@@ -36,6 +36,10 @@ type AccessIndex struct {
 	// one X-value; BuildAccessIndex rejects relations where this exceeds
 	// AC.N, which is how D |= A is enforced.
 	maxGroup int
+	// entries is the total number of distinct (X, Y) pairs indexed, the
+	// numerator of the observed average group size the cost-based planner
+	// estimates with.
+	entries int64
 }
 
 // BuildAccessIndex scans the relation and builds the index, verifying the
@@ -62,6 +66,7 @@ func BuildAccessIndex(rel *Relation, ac schema.AccessConstraint) (*AccessIndex, 
 			continue
 		}
 		seen[pairKey] = true
+		idx.entries++
 		entries := append(idx.m[xk], IndexEntry{Y: yv, Witness: t, Pos: pos})
 		idx.m[xk] = entries
 		if len(entries) > idx.maxGroup {
@@ -94,6 +99,12 @@ func (e *ViolationError) Error() string {
 // MaxGroup returns the largest distinct-Y group size observed, a useful
 // statistic for access-schema discovery.
 func (idx *AccessIndex) MaxGroup() int { return idx.maxGroup }
+
+// NumGroups returns the number of distinct X-keys the index holds.
+func (idx *AccessIndex) NumGroups() int64 { return int64(len(idx.m)) }
+
+// NumEntries returns the number of distinct (X, Y) pairs indexed.
+func (idx *AccessIndex) NumEntries() int64 { return idx.entries }
 
 // Entries returns the distinct-Y entry group under one encoded X-key
 // (value.KeyOf over the constraint's sorted X positions), or nil when the

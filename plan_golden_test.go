@@ -1,0 +1,125 @@
+// Planner conformance suite: golden files under testdata/plans/ pin the
+// chosen fetch order and cost estimates of every testdata query and of
+// the full generated TFACC/MOT/TPCH workloads. A planner change that
+// reorders a fetch step, re-picks a witness or moves an estimate shows
+// up as a golden diff; regenerate deliberately with
+//
+//	go test -run TestPlannerConformance -update ./
+package bcq
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bcq/internal/datagen"
+	"bcq/internal/querygen"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata/plans/*.golden")
+
+// goldenScale keeps dataset builds fast while leaving every index
+// populated enough for meaningful statistics.
+const goldenScale = 1.0 / 16
+
+// renderPlans prepares every query on the engine and renders its
+// cost-based plan (or the planner's rejection), sanitizing the opaque
+// placeholder sentinels so the goldens stay printable.
+func renderPlans(t *testing.T, eng *Engine, queries []*Query) string {
+	t.Helper()
+	var b strings.Builder
+	for _, q := range queries {
+		fmt.Fprintf(&b, "== %s\n", q.Name)
+		p, err := eng.PrepareQuery(q)
+		if err != nil {
+			fmt.Fprintf(&b, "rejected: %v\n\n", err)
+			continue
+		}
+		b.WriteString(p.Explain(nil))
+		b.WriteByte('\n')
+	}
+	return strings.ReplaceAll(b.String(), "\x00", "\\0")
+}
+
+// checkGolden compares (or with -update rewrites) one golden file.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "plans", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to generate): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("plans diverged from %s (rerun with -update if intentional)\n got:\n%s\n want:\n%s", path, got, want)
+	}
+}
+
+func TestPlannerConformance(t *testing.T) {
+	t.Run("social", func(t *testing.T) {
+		ds := datagen.Social()
+		db, err := ds.Build(goldenScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(ds.Catalog, ds.Access, db, EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := []*Query{
+			readQuery(t, "testdata/q0.sql", ds.Catalog),
+			readQuery(t, "testdata/q1.sql", ds.Catalog),
+		}
+		checkGolden(t, "social", renderPlans(t, eng, queries))
+	})
+
+	t.Run("orders", func(t *testing.T) {
+		cat, acc, db := ordersScene(t)
+		eng, err := NewEngine(cat, acc, db, EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := []*Query{
+			readQuery(t, "testdata/q2.sql", cat),
+			readQuery(t, "testdata/q3.sql", cat),
+		}
+		checkGolden(t, "orders", renderPlans(t, eng, queries))
+	})
+
+	for _, ds := range []*datagen.Dataset{datagen.TFACC(), datagen.MOT(), datagen.TPCH()} {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			if ds.Name == "TPCH" && testing.Short() {
+				t.Skip("TPCH build skipped in -short")
+			}
+			db, err := ds.Build(goldenScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := NewEngine(ds.Catalog, ds.Access, db, EngineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws, err := querygen.Workload(ds, querygen.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := make([]*Query, len(ws))
+			for i, w := range ws {
+				queries[i] = w.Query
+			}
+			checkGolden(t, strings.ToLower(ds.Name), renderPlans(t, eng, queries))
+		})
+	}
+}

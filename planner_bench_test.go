@@ -1,0 +1,69 @@
+// BenchmarkPlanner is the cost-based-optimizer guardrail: it compares
+// end-to-end bounded-evaluation latency of the naive (derivation-order)
+// plan against the cost-ordered plan on the testdata orders scene, where
+// declared bounds mislead, and reports the planning overhead itself.
+// CI runs it once per change; a regression shows up as the cost variant
+// losing its margin over naive (or planning time exploding).
+package bcq
+
+import (
+	"testing"
+)
+
+func BenchmarkPlanner(b *testing.B) {
+	cat, acc, db := ordersScene(b)
+	if err := db.EnsureIndexes(acc); err != nil {
+		b.Fatal(err)
+	}
+	cs := db.CardStats()
+	q := readQuery(b, "testdata/q3.sql", cat)
+	a, err := Analyze(cat, q, acc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	naive, err := a.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, err := a.OptimizedPlan(&cs)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("exec/naive", func(b *testing.B) {
+		var fetched int64
+		for i := 0; i < b.N; i++ {
+			res, err := Execute(naive, db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fetched = res.Stats.TuplesFetched
+		}
+		b.ReportMetric(float64(fetched), "tuples_fetched")
+	})
+	b.Run("exec/cost", func(b *testing.B) {
+		var fetched int64
+		for i := 0; i < b.N; i++ {
+			res, err := Execute(opt, db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fetched = res.Stats.TuplesFetched
+		}
+		b.ReportMetric(float64(fetched), "tuples_fetched")
+	})
+	b.Run("plan/naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Plan(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan/cost", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.OptimizedPlan(&cs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

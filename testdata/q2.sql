@@ -1,0 +1,6 @@
+query Q2:
+select t2.oid
+from users as t1, orders as t2
+where t1.region = 'r1'
+  and t1.tier = 55
+  and t1.uid = t2.uid

@@ -1,0 +1,7 @@
+query Q3:
+select t2.oid, t3.cat
+from users as t1, orders as t2, items as t3
+where t1.region = 'r1'
+  and t1.tier = 55
+  and t1.uid = t2.uid
+  and t2.item = t3.item
