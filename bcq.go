@@ -285,6 +285,28 @@ func ExecuteParallel(p *Plan, db *Database, parallelism int) (*Result, error) {
 	return exec.New(parallelism).Run(p, db)
 }
 
+// Re-exported streaming-execution types.
+type (
+	// Stream is a pull-based bounded answer stream: Next yields answers
+	// as the fetch/verify fixpoint produces them, holding O(batch)
+	// per-request state instead of materializing Q(D). Every emitted
+	// tuple is a true answer (candidate growth is monotone), and a
+	// drained stream has produced exactly Q(D). Streams are
+	// single-goroutine; Execute and ExecuteParallel are thin consumers
+	// of this same core.
+	Stream = exec.Stream
+	// StreamOptions tunes a stream: Limit > 0 stops fetching as soon as
+	// that many distinct answers exist (early termination); BatchSize
+	// sets the per-wave fetch granularity.
+	StreamOptions = exec.StreamOptions
+)
+
+// ExecuteStream opens a pull-based answer stream for a bounded plan over
+// any store. No data is fetched until the first Next call.
+func ExecuteStream(p *Plan, st Store, opts StreamOptions) *Stream {
+	return exec.OpenStream(p, st, opts)
+}
+
 // Re-exported prepared-query engine types.
 type (
 	// Engine is a long-lived prepared-query service over one database:

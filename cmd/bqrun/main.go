@@ -10,6 +10,12 @@
 //	bqrun -dataset mot -scale 1 -workload -parallel 8
 //	bqrun -dataset social -scale 0.5 -query q0.sql -ingest 100000
 //	bqrun -dataset social -scale 0.5 -query q0.sql -shards 4 -ingest 100000
+//	bqrun -dataset tfacc -scale 1 -workload -limit 5      # stop after 5 answers
+//
+// The -limit N flag re-runs each query through the early-terminating
+// streaming executor: fetching stops as soon as N distinct answers
+// exist, the report shows the probes the limit saved, and the limited
+// answers are cross-checked as a subset of the full answer.
 //
 // Datasets: social (Example 1), tfacc, mot, tpch. The -parallel flag fans
 // each plan step's index probes over that many workers; answers are
@@ -55,6 +61,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "bounded-executor probe workers (1 = sequential)")
 	ingest := flag.Int("ingest", 0, "live mode: stream N inserts while queries run against pinned snapshots")
 	shards := flag.Int("shards", 1, "partition the store into P shards (1 = single store)")
+	limit := flag.Int("limit", 0, "early termination: stop each query after N answers (0 = all), reporting the probes saved")
 	explain := flag.Bool("explain", false, "print each query's cost-based plan with estimated and actual per-step fetches")
 	verbose := flag.Bool("v", false, "print per-relation access breakdown and per-shard balance")
 	flag.Parse()
@@ -68,6 +75,7 @@ func main() {
 		parallel: *parallel,
 		ingest:   *ingest,
 		shards:   *shards,
+		limit:    *limit,
 		explain:  *explain,
 		verbose:  *verbose,
 	}); err != nil {
@@ -86,6 +94,7 @@ type config struct {
 	parallel int
 	ingest   int
 	shards   int
+	limit    int
 	explain  bool
 	verbose  bool
 }
@@ -102,6 +111,12 @@ func (c config) validate() error {
 	}
 	if c.shards < 1 {
 		return fmt.Errorf("-shards %d: shard count must be ≥ 1 (1 = single store)", c.shards)
+	}
+	if c.limit < 0 {
+		return fmt.Errorf("-limit %d: answer limit must be ≥ 0 (0 = all answers)", c.limit)
+	}
+	if c.limit > 0 && (c.shards > 1 || c.ingest > 0) {
+		return fmt.Errorf("-limit combines only with the static single-store mode (drop -shards/-ingest)")
 	}
 	if c.scale <= 0 {
 		return fmt.Errorf("-scale %g: scale factor must be > 0", c.scale)
@@ -191,7 +206,7 @@ func run(c config) error {
 		}
 	} else {
 		for _, q := range queries {
-			if err := runOne(ds, eng, q, c.budget, c.explain); err != nil {
+			if err := runOne(ds, eng, q, c); err != nil {
 				return err
 			}
 		}
@@ -363,6 +378,49 @@ func printShardStats(stats []bcq.Stats) {
 	fmt.Println()
 }
 
+// runLimited re-runs a query through the early-terminating stream with
+// -limit and cross-checks the page against the full answer: every
+// limited answer must be a full answer, the count must be
+// min(limit, |Q(D)|), and a binding limit must fetch no more tuples
+// than the full run (strictly fewer probes show up as "skipped").
+func runLimited(prep *engine.Prepared, full *bcq.Result, c config) error {
+	start := time.Now()
+	lres, err := prep.ExecLimit(c.limit)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	var skipped int64
+	for _, st := range lres.StepStats {
+		skipped += st.Skipped
+	}
+	fmt.Printf("   limit %d:  %5d answers in %8v — fetched %d tuples, ≥ %d probes skipped\n",
+		c.limit, len(lres.Tuples), elapsed.Round(time.Microsecond), lres.Stats.TuplesFetched, skipped)
+
+	want := len(full.Tuples)
+	if c.limit < want {
+		want = c.limit
+	}
+	if len(lres.Tuples) != want {
+		return fmt.Errorf("LIMIT MISMATCH: limit %d returned %d answers, expected %d", c.limit, len(lres.Tuples), want)
+	}
+	inFull := make(map[string]bool, len(full.Tuples))
+	for _, t := range full.Tuples {
+		inFull[fmt.Sprint(t)] = true
+	}
+	for _, t := range lres.Tuples {
+		if !inFull[fmt.Sprint(t)] {
+			return fmt.Errorf("LIMIT MISMATCH: limited answer %v is not a full answer", t)
+		}
+	}
+	if lres.Stats.TuplesFetched > full.Stats.TuplesFetched {
+		return fmt.Errorf("LIMIT MISMATCH: limited run fetched %d tuples > full run's %d",
+			lres.Stats.TuplesFetched, full.Stats.TuplesFetched)
+	}
+	fmt.Printf("   limited answers ⊆ full answers ✓\n")
+	return nil
+}
+
 // ingestBatch is the write-batch size of live mode: one epoch per batch.
 const ingestBatch = 64
 
@@ -524,7 +582,7 @@ func driveIngest(eng *engine.Engine, tgt ingestTarget, queries []*bcq.Query, n i
 	return nil
 }
 
-func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, budget int64, explain bool) error {
+func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, c config) error {
 	fmt.Printf("== %s\n   %s\n", q.Name, q)
 	prep, err := eng.PrepareQuery(q)
 	if err != nil {
@@ -546,8 +604,13 @@ func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, budget int64,
 	evalTime := time.Since(start)
 	fmt.Printf("   evalDQ:   %5d answers in %8v — fetched %d tuples (|D_Q| = %d, bound %s)\n",
 		len(res.Tuples), evalTime.Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, prep.FetchBound())
-	if explain {
+	if c.explain {
 		fmt.Print(indentBlock(prep.Explain(res)))
+	}
+	if c.limit > 0 {
+		if err := runLimited(prep, res, c); err != nil {
+			return err
+		}
 	}
 
 	an, err := bcq.Analyze(ds.Catalog, q, ds.Access)
@@ -555,7 +618,7 @@ func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, budget int64,
 		return err
 	}
 	start = time.Now()
-	bres, err := bcq.ExecuteBaseline(an, eng.Database(), bcq.BaselineOptions{Budget: budget})
+	bres, err := bcq.ExecuteBaseline(an, eng.Database(), bcq.BaselineOptions{Budget: c.budget})
 	baseTime := time.Since(start)
 	switch {
 	case err != nil:

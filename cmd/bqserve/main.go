@@ -19,12 +19,25 @@
 //	}'
 //	curl -s localhost:8080/stats
 //
+// Large answers can be paged: "limit": N streams the first N answers as
+// they are produced and returns a next_cursor token; posting {"cursor":
+// "<token>"} continues the scan on the same pinned snapshot, so every
+// page reads one consistent epoch no matter how much ingest lands
+// between requests. -cursor-cap and -cursor-ttl bound the snapshots the
+// server pins for absent clients.
+//
+//	curl -s localhost:8080/query -d '{
+//	  "query": "select photo_id from in_album where album_id = ?",
+//	  "args": [3], "limit": 100
+//	}'
+//	curl -s localhost:8080/query -d '{"cursor": "<next_cursor from the page above>"}'
+//
 // Hot queries are answered from an epoch-keyed result cache: live writes
 // publish a new snapshot epoch, which changes the cache key, so cached
-// answers are never stale. The worker pool bounds concurrent executions
-// (-workers), queues up to -queue requests beyond that, rejects the rest
-// with 503, and enforces a per-request deadline (-timeout, or the
-// request's timeout_ms).
+// answers are never stale (paged responses bypass the cache). The worker
+// pool bounds concurrent executions (-workers), queues up to -queue
+// requests beyond that, rejects the rest with 503, and enforces a
+// per-request deadline (-timeout, or the request's timeout_ms).
 package main
 
 import (
@@ -51,6 +64,8 @@ func main() {
 	queue := flag.Int("queue", 0, "max queued requests beyond the workers (0 = 8 x workers)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline")
 	cacheSize := flag.Int("cache", serve.DefaultResultCacheSize, "result cache entries (negative disables)")
+	cursorCap := flag.Int("cursor-cap", serve.DefaultCursorCap, "max concurrently open pagination cursors (each pins one snapshot)")
+	cursorTTL := flag.Duration("cursor-ttl", serve.DefaultCursorTTL, "idle pagination cursors expire after this long (then answer 410)")
 	flag.Parse()
 
 	srv, info, err := buildServer(config{
@@ -62,6 +77,8 @@ func main() {
 		queue:     *queue,
 		timeout:   *timeout,
 		cacheSize: *cacheSize,
+		cursorCap: *cursorCap,
+		cursorTTL: *cursorTTL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bqserve:", err)
@@ -85,6 +102,8 @@ type config struct {
 	queue     int
 	timeout   time.Duration
 	cacheSize int
+	cursorCap int
+	cursorTTL time.Duration
 }
 
 func (c config) validate() error {
@@ -99,6 +118,12 @@ func (c config) validate() error {
 	}
 	if c.workers < 0 || c.queue < 0 {
 		return fmt.Errorf("-workers/-queue must be ≥ 0")
+	}
+	if c.cursorCap < 0 {
+		return fmt.Errorf("-cursor-cap %d: open-cursor capacity must be ≥ 0 (0 = default)", c.cursorCap)
+	}
+	if c.cursorTTL < 0 {
+		return fmt.Errorf("-cursor-ttl %v: cursor lifetime must be ≥ 0 (0 = default)", c.cursorTTL)
 	}
 	return nil
 }
@@ -138,6 +163,8 @@ func buildServer(c config) (*serve.Server, string, error) {
 		MaxQueue:        c.queue,
 		DefaultTimeout:  c.timeout,
 		ResultCacheSize: c.cacheSize,
+		CursorCap:       c.cursorCap,
+		CursorTTL:       c.cursorTTL,
 	}
 	engOpts := engine.Options{Parallelism: c.parallel}
 

@@ -174,6 +174,8 @@ func (p *Prepared) Explain(res *exec.Result) string {
 	opts := plan.ExplainOptions{Estimates: p.pl.CostBased}
 	if res != nil {
 		opts.Actuals = &plan.Actuals{Steps: res.StepStats, Verifies: res.VerifyStats}
+		opts.Limit = res.Limit
+		opts.Limited = res.Limited
 	}
 	return p.pl.ExplainOpts(opts)
 }
@@ -196,34 +198,99 @@ func (p *Prepared) Exec(args ...value.Value) (*exec.Result, error) {
 // one consistent epoch, or to re-evaluate on a historical snapshot.
 func (p *Prepared) ExecOn(st exec.Store, args ...value.Value) (*exec.Result, error) {
 	p.eng.execs.Add(1)
+	pl, ok, err := p.bind(args)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return p.emptyResult(), nil
+	}
+	return p.eng.exe.Run(pl, st)
+}
+
+// ExecStream opens a pull-based answer stream for the prepared plan with
+// the given placeholder arguments, pinning a view from the engine's
+// source at call time (like Exec). No data is fetched until the stream's
+// first Next call; with opts.Limit set, fetching stops as soon as that
+// many distinct answers exist. The returned stream is single-goroutine;
+// hold it (and nothing else) to page through one consistent snapshot.
+func (p *Prepared) ExecStream(opts exec.StreamOptions, args ...value.Value) (*exec.Stream, error) {
+	return p.ExecStreamOn(p.eng.src.View(), opts, args...)
+}
+
+// ExecStreamOn is ExecStream against an explicitly pinned store.
+func (p *Prepared) ExecStreamOn(st exec.Store, opts exec.StreamOptions, args ...value.Value) (*exec.Stream, error) {
+	p.eng.execs.Add(1)
+	pl, ok, err := p.bind(args)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return exec.EmptyStream(p.colNames()), nil
+	}
+	return p.eng.exe.Stream(pl, st, opts), nil
+}
+
+// ExecLimit is Exec with early termination: it drains a limit-bounded
+// stream and returns at most limit distinct answers (sorted), with
+// Result.StepStats recording the probes the limit saved. limit ≤ 0 means
+// no limit, i.e. plain Exec.
+func (p *Prepared) ExecLimit(limit int, args ...value.Value) (*exec.Result, error) {
+	return p.ExecLimitOn(p.eng.src.View(), limit, args...)
+}
+
+// ExecLimitOn is ExecLimit against an explicitly pinned store.
+func (p *Prepared) ExecLimitOn(st exec.Store, limit int, args ...value.Value) (*exec.Result, error) {
+	if limit <= 0 {
+		return p.ExecOn(st, args...)
+	}
+	s, err := p.ExecStreamOn(st, exec.StreamOptions{Limit: limit}, args...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Drain()
+	if err != nil {
+		return nil, err
+	}
+	res.Limit = limit
+	return res, nil
+}
+
+// bind validates an argument vector and returns the plan to execute:
+// the cached plan itself for templates without placeholders, or a copy
+// with the placeholder classes' seeds rewritten to the arguments.
+// ok = false means the binding is unsatisfiable (conflicting values for
+// one Σ_Q class, or a fixed slot given a different constant) — the
+// answer is empty without touching the data.
+func (p *Prepared) bind(args []value.Value) (*plan.Plan, bool, error) {
 	if len(args) != len(p.slots) {
-		return nil, fmt.Errorf("engine: query %s expects %d arguments, got %d",
+		return nil, false, fmt.Errorf("engine: query %s expects %d arguments, got %d",
 			p.query.Name, len(p.slots), len(args))
 	}
 	for i, a := range args {
 		if a.IsNull() {
-			return nil, fmt.Errorf("engine: argument %d is null; an equality with null is never satisfied", i)
+			return nil, false, fmt.Errorf("engine: argument %d is null; an equality with null is never satisfied", i)
 		}
 	}
 	if len(p.slots) == 0 {
-		return p.eng.exe.Run(p.pl, st)
+		return p.pl, true, nil
 	}
 
 	// Bind: one value per placeholder class. Conflicting bindings — two
 	// Σ_Q-equal slots given different values, or a fixed slot given a
 	// value other than its pinned constant — make the instantiated query
-	// unsatisfiable, so the answer is empty without touching the data.
+	// unsatisfiable.
 	desired := make(map[int]value.Value, len(p.slots))
 	for i, slot := range p.slots {
 		if slot.fixed {
 			if args[i] != slot.val {
-				return p.emptyResult(), nil
+				return nil, false, nil
 			}
 			continue
 		}
 		if prev, ok := desired[slot.class]; ok {
 			if prev != args[i] {
-				return p.emptyResult(), nil
+				return nil, false, nil
 			}
 			continue
 		}
@@ -239,15 +306,20 @@ func (p *Prepared) ExecOn(st exec.Store, args ...value.Value) (*exec.Result, err
 		}
 	}
 	bound.Seeds = seeds
-	return p.eng.exe.Run(&bound, st)
+	return &bound, true, nil
+}
+
+// colNames renders the template's output column names.
+func (p *Prepared) colNames() []string {
+	var cols []string
+	for _, col := range p.query.Output {
+		cols = append(cols, col.As)
+	}
+	return cols
 }
 
 // emptyResult is the answer of an unsatisfiable argument binding: no
 // tuples, no data access.
 func (p *Prepared) emptyResult() *exec.Result {
-	res := &exec.Result{}
-	for _, col := range p.query.Output {
-		res.Cols = append(res.Cols, col.As)
-	}
-	return res
+	return &exec.Result{Cols: p.colNames()}
 }

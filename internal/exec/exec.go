@@ -34,9 +34,6 @@
 package exec
 
 import (
-	"fmt"
-	"sort"
-
 	"bcq/internal/plan"
 	"bcq/internal/schema"
 	"bcq/internal/storage"
@@ -110,6 +107,11 @@ type Result struct {
 	// the evaluation report zero access). Both are nil for trivial plans.
 	StepStats   []StepAccess
 	VerifyStats []StepAccess
+	// Limit echoes the early-termination bound the evaluation ran under
+	// (0: none); Limited reports whether it actually stopped there rather
+	// than by exhausting the bounded fetch.
+	Limit   int
+	Limited bool
 }
 
 // Bool interprets a Boolean query's result.
@@ -140,9 +142,14 @@ func Run(p *plan.Plan, db Store) (*Result, error) {
 // pinned live snapshot. The store must have indexes built for every
 // constraint the plan uses (storage.BuildIndexes with the access schema
 // the plan was generated under, or a live store over such a base).
+//
+// Run is a thin consumer of the streaming core: it drains an unbatched
+// Stream, whose single growth wave, in-order verification with the
+// empty-table short-circuit, and one-shot join execute exactly the
+// classic three-phase evalDQ — answers, statistics and |D_Q| are
+// byte-identical to the historical materializing path.
 func (e *Executor) Run(p *plan.Plan, db Store) (*Result, error) {
-	r := &run{ex: e, p: p, db: db, res: &Result{}}
-	return r.execute()
+	return e.Stream(p, db, StreamOptions{BatchSize: Unbatched}).Drain()
 }
 
 // run is the per-evaluation state of one Executor.Run. It counts its own
@@ -189,312 +196,6 @@ type fetched struct {
 	combo   value.Tuple
 	entries []storage.IndexEntry
 	shard   int
-}
-
-// rowTable is one atom's verified rows R_i, with the class carried by each
-// column.
-type rowTable struct {
-	classes []int // column classes, aligned with row tuples
-	rows    []value.Tuple
-}
-
-func (r *run) execute() (*Result, error) {
-	for _, col := range r.p.Query.Output {
-		r.res.Cols = append(r.res.Cols, col.As)
-	}
-	if r.p.Trivial {
-		return r.res, nil
-	}
-
-	r.dq = newDQTracker()
-	r.res.StepStats = make([]StepAccess, len(r.p.Steps))
-	r.res.VerifyStats = make([]StepAccess, len(r.p.Verifies))
-
-	// Phase 0: seed candidate sets.
-	r.V = make([]*candSet, r.p.Closure.NumClasses())
-	for i := range r.V {
-		r.V[i] = newCandSet()
-	}
-	for _, s := range r.p.Seeds {
-		r.V[s.Class].add(s.Val)
-	}
-
-	if err := r.grow(); err != nil {
-		return nil, err
-	}
-	tables, empty, err := r.verify()
-	if err != nil {
-		return nil, err
-	}
-	if !empty {
-		if err := r.join(tables); err != nil {
-			return nil, err
-		}
-	}
-	r.finish()
-	return r.res, nil
-}
-
-// grow is phase 1: candidate growth, one fetch step at a time. Steps are
-// ordered (each feeds the candidate sets the next enumerates over); the
-// probes within one step are independent and run on the worker pool.
-func (r *run) grow() error {
-	retain := make([]bool, len(r.p.Steps))
-	for _, vs := range r.p.Verifies {
-		if vs.FromStep >= 0 {
-			retain[vs.FromStep] = true
-		}
-	}
-	r.recorded = make([][]fetched, len(r.p.Steps))
-
-	for si, st := range r.p.Steps {
-		xs := lookupTuples(r.V, st.XClasses)
-		groups, owners, err := r.probeAC(st.AC, xs)
-		if err != nil {
-			return err
-		}
-		r.res.StepStats[si].Lookups = int64(len(xs))
-		// Deterministic merge, in probe order.
-		for i, entries := range groups {
-			r.res.StepStats[si].Fetched += int64(len(entries))
-			shard := 0
-			if owners != nil {
-				shard = owners[i]
-			}
-			for _, e := range entries {
-				r.dq.add(st.AC.Rel, shard, e.Pos)
-				for _, yi := range st.BindPos {
-					r.V[st.YClasses[yi]].add(e.Y[yi])
-				}
-			}
-			if retain[si] && len(entries) > 0 {
-				r.recorded[si] = append(r.recorded[si], fetched{combo: xs[i], entries: entries, shard: shard})
-			}
-		}
-	}
-	return nil
-}
-
-// verify is phase 2: it builds R_i per atom, in plan order, and reports
-// empty = true as soon as some atom verifies to an empty table (the
-// query's answer is then empty, and — matching sequential semantics —
-// later verifications are skipped).
-func (r *run) verify() (tables []rowTable, empty bool, err error) {
-	for vi, vs := range r.p.Verifies {
-		if vs.Exists {
-			ok, err := r.db.NonEmpty(r.p.Query.Atoms[vs.Atom].Rel)
-			if err != nil {
-				return nil, false, err
-			}
-			if !ok {
-				return nil, true, nil
-			}
-			r.fetched++ // the probe read one tuple (no index lookup:
-			// NonEmpty is an O(1) existence check, counted as zero probes
-			// here and in the estimates alike)
-			r.res.VerifyStats[vi].Fetched = 1
-			continue
-		}
-		classes := make([]int, len(vs.Row))
-		for k, src := range vs.Row {
-			classes[k] = src.Class
-		}
-		tbl := rowTable{classes: classes}
-		seen := map[string]bool{}
-		collect := func(combo value.Tuple, e storage.IndexEntry) {
-			row, ok := buildRow(vs, r.V, combo, e)
-			if !ok {
-				return
-			}
-			key := row.Key()
-			if !seen[key] {
-				seen[key] = true
-				tbl.rows = append(tbl.rows, row)
-			}
-		}
-		if vs.FromStep >= 0 {
-			for _, f := range r.recorded[vs.FromStep] {
-				for _, e := range f.entries {
-					collect(f.combo, e)
-				}
-			}
-		} else {
-			xs := lookupTuples(r.V, vs.XClasses)
-			groups, owners, err := r.probeAC(vs.Witness, xs)
-			if err != nil {
-				return nil, false, err
-			}
-			r.res.VerifyStats[vi].Lookups = int64(len(xs))
-			for i, entries := range groups {
-				r.res.VerifyStats[vi].Fetched += int64(len(entries))
-				shard := 0
-				if owners != nil {
-					shard = owners[i]
-				}
-				for _, e := range entries {
-					r.dq.add(vs.Witness.Rel, shard, e.Pos)
-					collect(xs[i], e)
-				}
-			}
-		}
-		if len(tbl.rows) == 0 {
-			return nil, true, nil
-		}
-		tables = append(tables, tbl)
-	}
-	return tables, false, nil
-}
-
-// join is phase 3: the in-memory hash join of the verified row tables on
-// shared classes, then the projection onto the output classes. No data
-// access happens here.
-func (r *run) join(tables []rowTable) error {
-	sort.SliceStable(tables, func(i, j int) bool { return len(tables[i].rows) < len(tables[j].rows) })
-
-	covered := make(map[int]int) // class -> column in the partial join
-	// Start from the seed constants so constant classes participate even
-	// when no atom carries them (they always do, but be defensive).
-	var joinCols []int
-	start := value.Tuple{}
-	for _, s := range r.p.Seeds {
-		covered[s.Class] = len(joinCols)
-		joinCols = append(joinCols, s.Class)
-		start = append(start, s.Val)
-	}
-	partial := []value.Tuple{start}
-
-	for _, tbl := range tables {
-		var sharedTblPos, sharedJoinPos, newTblPos []int
-		for k, c := range tbl.classes {
-			if j, ok := covered[c]; ok {
-				sharedTblPos = append(sharedTblPos, k)
-				sharedJoinPos = append(sharedJoinPos, j)
-			} else {
-				newTblPos = append(newTblPos, k)
-			}
-		}
-		// Hash the table rows on the shared columns.
-		hash := make(map[string][]value.Tuple, len(tbl.rows))
-		for _, row := range tbl.rows {
-			hash[value.KeyOf(row, sharedTblPos)] = append(hash[value.KeyOf(row, sharedTblPos)], row)
-		}
-		var next []value.Tuple
-		for _, b := range partial {
-			key := value.KeyOf(b, sharedJoinPos)
-			for _, row := range hash[key] {
-				nb := make(value.Tuple, len(b), len(b)+len(newTblPos))
-				copy(nb, b)
-				for _, k := range newTblPos {
-					nb = append(nb, row[k])
-				}
-				next = append(next, nb)
-			}
-		}
-		for _, k := range newTblPos {
-			covered[tbl.classes[k]] = len(joinCols)
-			joinCols = append(joinCols, tbl.classes[k])
-		}
-		partial = next
-		if len(partial) == 0 {
-			break
-		}
-	}
-
-	// Projection with deduplication.
-	seenOut := make(map[string]bool)
-	for _, b := range partial {
-		out := make(value.Tuple, len(r.p.OutputClasses))
-		for k, c := range r.p.OutputClasses {
-			j, ok := covered[c]
-			if !ok {
-				return fmt.Errorf("exec: output class %d never joined (malformed plan)", c)
-			}
-			out[k] = b[j]
-		}
-		key := out.Key()
-		if !seenOut[key] {
-			seenOut[key] = true
-			r.res.Tuples = append(r.res.Tuples, out)
-		}
-	}
-	sort.Slice(r.res.Tuples, func(i, j int) bool { return r.res.Tuples[i].Compare(r.res.Tuples[j]) < 0 })
-	return nil
-}
-
-// finish fills the result's access statistics from the run's own
-// counters. evalDQ never scans, so TuplesScanned is always zero.
-func (r *run) finish() {
-	r.res.Stats = storage.Stats{IndexLookups: r.lookups, TuplesFetched: r.fetched}
-	r.res.DQSize = r.dq.size()
-}
-
-// buildRow assembles one verified row from a lookup combo and an index
-// entry, applying within-atom consistency checks and candidate-membership
-// filtering. Consistency sources are checked pairwise.
-func buildRow(vs plan.VerifyStep, V []*candSet, combo value.Tuple, e storage.IndexEntry) (value.Tuple, bool) {
-	get := func(src plan.RowSource) value.Value {
-		if src.FromX >= 0 {
-			return combo[src.FromX]
-		}
-		return e.Y[src.FromY]
-	}
-	row := make(value.Tuple, len(vs.Row))
-	for k, src := range vs.Row {
-		v := get(src)
-		if !V[src.Class].has[v] {
-			return nil, false
-		}
-		row[k] = v
-	}
-	for k := 0; k+1 < len(vs.Consistency); k += 2 {
-		if get(vs.Consistency[k]) != get(vs.Consistency[k+1]) {
-			return nil, false
-		}
-	}
-	return row, true
-}
-
-// lookupTuples enumerates, in deterministic order, every combination of
-// candidate values over the classes of a lookup attribute list, as tuples
-// positionally aligned with the attributes (several positions may share a
-// class, in which case they carry the same value). An empty attribute list
-// yields one empty lookup; a referenced class with no candidates yields no
-// lookups at all.
-func lookupTuples(V []*candSet, classes []int) []value.Tuple {
-	classOrder := make(map[int]int)
-	var unique []int
-	for _, c := range classes {
-		if _, seen := classOrder[c]; !seen {
-			classOrder[c] = len(unique)
-			unique = append(unique, c)
-		}
-	}
-	combos := []value.Tuple{{}}
-	for _, c := range unique {
-		vals := V[c].vals
-		if len(vals) == 0 {
-			return nil // no candidates: no lookups
-		}
-		next := make([]value.Tuple, 0, len(combos)*len(vals))
-		for _, base := range combos {
-			for _, v := range vals {
-				nb := make(value.Tuple, len(base), len(base)+1)
-				copy(nb, base)
-				next = append(next, append(nb, v))
-			}
-		}
-		combos = next
-	}
-	// Align each combo (over distinct classes) with the attribute list.
-	out := make([]value.Tuple, len(combos))
-	for i, combo := range combos {
-		x := make(value.Tuple, len(classes))
-		for k, c := range classes {
-			x[k] = combo[classOrder[c]]
-		}
-		out[i] = x
-	}
-	return out
 }
 
 // dqTracker deduplicates fetched witness tuples per relation position,

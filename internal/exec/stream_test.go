@@ -1,0 +1,303 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bcq/internal/core"
+	"bcq/internal/plan"
+	"bcq/internal/schema"
+	"bcq/internal/spc"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// streamBatchSizes are the fetch granularities the equivalence tests
+// sweep: pathological (1), odd, default, and the materializing
+// single-wave mode Run itself uses.
+var streamBatchSizes = []int{1, 3, 7, DefaultBatchSize, Unbatched}
+
+// TestStreamMatchesRunAcrossBatchSizes is the streaming keystone: over
+// the same random query/database space as the main property suite, a
+// drained stream must produce exactly Run's answer at every batch size,
+// never scan, and — whenever the answer is non-empty — agree with Run
+// on every access statistic (the delta decomposition probes each
+// X-combination exactly once, so batching changes interleaving, not
+// work).
+func TestStreamMatchesRunAcrossBatchSizes(t *testing.T) {
+	cat := propCatalog()
+	acc := propAccess()
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		q := propQuery(rng)
+		if err := q.Validate(cat); err != nil {
+			t.Fatal(err)
+		}
+		an, err := core.NewAnalysis(cat, q, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.EBCheck().EffectivelyBounded {
+			continue
+		}
+		p, err := plan.QPlan(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := propDB(t, rng)
+		full, err := Run(p, db)
+		if err != nil {
+			t.Fatalf("trial %d: Run: %v", trial, err)
+		}
+		for _, bs := range streamBatchSizes {
+			res, err := OpenStream(p, db, StreamOptions{BatchSize: bs}).Drain()
+			if err != nil {
+				t.Fatalf("trial %d batch %d: drain: %v\n  %s", trial, bs, err, q)
+			}
+			if !sameTuples(res.Tuples, full.Tuples) {
+				t.Fatalf("trial %d batch %d: stream %v != run %v\n  %s", trial, bs, res.Tuples, full.Tuples, q)
+			}
+			if res.Stats.TuplesScanned != 0 {
+				t.Fatalf("trial %d batch %d: stream scanned %d tuples", trial, bs, res.Stats.TuplesScanned)
+			}
+			if len(full.Tuples) > 0 {
+				if res.Stats != full.Stats || res.DQSize != full.DQSize {
+					t.Fatalf("trial %d batch %d: stats diverged on non-empty answer\n stream: %+v dq=%d\n run:    %+v dq=%d\n  %s",
+						trial, bs, res.Stats, res.DQSize, full.Stats, full.DQSize, q)
+				}
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no effectively bounded trials checked")
+	}
+	t.Logf("streaming equivalence: %d random queries × %d batch sizes", checked, len(streamBatchSizes))
+}
+
+// TestStreamNextMatchesDrain pulls tuple by tuple through Next and
+// requires the collected set (plus the exhausted stream's statistics) to
+// match a drained twin exactly.
+func TestStreamNextMatchesDrain(t *testing.T) {
+	cat := propCatalog()
+	acc := propAccess()
+	checked := 0
+	for trial := 0; trial < 80; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		q := propQuery(rng)
+		if err := q.Validate(cat); err != nil {
+			t.Fatal(err)
+		}
+		an, err := core.NewAnalysis(cat, q, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.EBCheck().EffectivelyBounded {
+			continue
+		}
+		p, err := plan.QPlan(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := propDB(t, rng)
+
+		s := OpenStream(p, db, StreamOptions{BatchSize: 2})
+		var got []value.Tuple
+		for {
+			tu, ok, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, tu)
+		}
+		if !s.Done() {
+			t.Fatalf("trial %d: exhausted stream not Done", trial)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].Compare(got[j]) < 0 })
+
+		want, err := OpenStream(p, db, StreamOptions{BatchSize: 2}).Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTuples(got, want.Tuples) {
+			t.Fatalf("trial %d: Next-collected %v != Drain %v\n  %s", trial, got, want.Tuples, q)
+		}
+		res := s.Result()
+		if res.Stats != want.Stats || res.DQSize != want.DQSize {
+			t.Fatalf("trial %d: exhausted-stream stats %+v dq=%d != drained %+v dq=%d",
+				trial, res.Stats, res.DQSize, want.Stats, want.DQSize)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no effectively bounded trials checked")
+	}
+}
+
+// fanoutScene builds the early-termination fixture: a bounded domain of
+// srcs, each fanning out to many dsts, so the unlimited answer needs one
+// probe per src while a small LIMIT needs only the first few.
+func fanoutScene(t testing.TB, nSrc, nDst int) (*plan.Plan, *storage.Database) {
+	t.Helper()
+	cat := schema.MustCatalog(schema.MustRelation("edge", "src", "dst"))
+	acc := schema.MustAccessSchema(
+		schema.MustAccessConstraint("edge", nil, []string{"src"}, int64(nSrc)),
+		schema.MustAccessConstraint("edge", []string{"src"}, []string{"dst"}, int64(nDst)),
+	)
+	db := storage.NewDatabase(cat)
+	for s := 0; s < nSrc; s++ {
+		for d := 0; d < nDst; d++ {
+			if err := db.Insert("edge", value.Tuple{value.Int(int64(s)), value.Int(int64(d))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.BuildIndexes(acc); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildRowIndexes(acc); err != nil {
+		t.Fatal(err)
+	}
+	q := &spc.Query{
+		Name:  "fanout",
+		Atoms: []spc.Atom{{Rel: "edge", Alias: "e"}},
+		Output: []spc.OutputCol{
+			{Ref: spc.AttrRef{Atom: 0, Attr: "src"}, As: "src"},
+			{Ref: spc.AttrRef{Atom: 0, Attr: "dst"}, As: "dst"},
+		},
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.NewAnalysis(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.EBCheck().EffectivelyBounded {
+		t.Fatal("fanout fixture not effectively bounded")
+	}
+	p, err := plan.QPlan(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, db
+}
+
+// TestStreamLimitFetchesStrictlyFewer is the early-termination
+// guarantee: a small LIMIT on a large answer must stop the stream with
+// strictly fewer tuples fetched than the unlimited run, and the probes
+// never issued must show up in StepStats.Skipped.
+func TestStreamLimitFetchesStrictlyFewer(t *testing.T) {
+	p, db := fanoutScene(t, 40, 25) // 1000 answers
+
+	full, err := Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Tuples) != 1000 {
+		t.Fatalf("fixture answer = %d tuples, want 1000", len(full.Tuples))
+	}
+
+	const limit = 3
+	res, err := OpenStream(p, db, StreamOptions{Limit: limit, BatchSize: 4}).Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != limit {
+		t.Fatalf("limited run returned %d tuples, want %d", len(res.Tuples), limit)
+	}
+	if !res.Limited {
+		t.Error("limited run did not set Limited")
+	}
+	if res.Stats.TuplesFetched >= full.Stats.TuplesFetched {
+		t.Fatalf("limit %d fetched %d tuples, unlimited fetched %d — early termination saved nothing",
+			limit, res.Stats.TuplesFetched, full.Stats.TuplesFetched)
+	}
+	var skipped int64
+	for _, st := range res.StepStats {
+		skipped += st.Skipped
+	}
+	if skipped == 0 {
+		t.Error("limited run reports no skipped probes despite unprobed combinations")
+	}
+
+	// Every limited answer is a true answer.
+	inFull := make(map[string]bool, len(full.Tuples))
+	for _, tu := range full.Tuples {
+		inFull[fmt.Sprint(tu)] = true
+	}
+	for _, tu := range res.Tuples {
+		if !inFull[fmt.Sprint(tu)] {
+			t.Fatalf("limited answer %v is not a full answer", tu)
+		}
+	}
+	t.Logf("limit %d: fetched %d vs %d unlimited, ≥ %d probes skipped",
+		limit, res.Stats.TuplesFetched, full.Stats.TuplesFetched, skipped)
+}
+
+// TestStreamLimitAcrossBatchSizes: at every batch size, a limit-K drain
+// yields exactly min(K, |Q(D)|) answers, all true answers.
+func TestStreamLimitAcrossBatchSizes(t *testing.T) {
+	p, db := fanoutScene(t, 6, 4) // 24 answers
+	full, err := Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inFull := make(map[string]bool, len(full.Tuples))
+	for _, tu := range full.Tuples {
+		inFull[fmt.Sprint(tu)] = true
+	}
+	for _, bs := range streamBatchSizes {
+		for _, limit := range []int{1, 5, 24, 100} {
+			res, err := OpenStream(p, db, StreamOptions{Limit: limit, BatchSize: bs}).Drain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := limit
+			if len(full.Tuples) < want {
+				want = len(full.Tuples)
+			}
+			if len(res.Tuples) != want {
+				t.Fatalf("batch %d limit %d: %d answers, want %d", bs, limit, len(res.Tuples), want)
+			}
+			// limit == |Q(D)| may report either way (the stream stops at
+			// the K-th answer without knowing it was also the last).
+			if limit < len(full.Tuples) && !res.Limited {
+				t.Fatalf("batch %d limit %d: truncating limit did not set Limited", bs, limit)
+			}
+			if limit > len(full.Tuples) && res.Limited {
+				t.Fatalf("batch %d limit %d: non-binding limit set Limited", bs, limit)
+			}
+			for _, tu := range res.Tuples {
+				if !inFull[fmt.Sprint(tu)] {
+					t.Fatalf("batch %d limit %d: %v is not a true answer", bs, limit, tu)
+				}
+			}
+		}
+	}
+}
+
+// TestEmptyStream: the no-op stream used for unsatisfiable bindings.
+func TestEmptyStream(t *testing.T) {
+	s := EmptyStream([]string{"a", "b"})
+	if _, ok, err := s.Next(); ok || err != nil {
+		t.Fatalf("empty stream Next = (%v, %v), want exhausted", ok, err)
+	}
+	if !s.Done() {
+		t.Error("empty stream not Done")
+	}
+	res := s.Result()
+	if len(res.Tuples) != 0 || len(res.Cols) != 2 {
+		t.Errorf("empty stream result = %+v", res)
+	}
+}

@@ -12,6 +12,10 @@ import (
 // the worst-case bounds and cost estimates.
 type StepAccess struct {
 	Lookups, Fetched int64
+	// Skipped counts lookup combinations that were enumerated but never
+	// probed because an early-termination limit closed the stream first.
+	// Always zero for runs that drain the bounded fetch completely.
+	Skipped int64
 }
 
 // Actuals carries a finished execution's per-step access counts back
@@ -32,6 +36,12 @@ type ExplainOptions struct {
 	// Actuals, when non-nil, adds each step's executed probe and fetch
 	// counts — the satellite the worst-case bound alone cannot provide.
 	Actuals *Actuals
+	// Limit, when > 0, marks the run as limit-bounded; Limited reports
+	// whether execution actually stopped at the limit (streamed runs with
+	// early termination), which the rendering annotates together with any
+	// per-step Skipped counts.
+	Limit   int
+	Limited bool
 }
 
 // Explain renders the plan in a human-readable form, one operation per
@@ -66,7 +76,11 @@ func (p *Plan) ExplainOpts(opts ExplainOptions) string {
 			return ""
 		}
 		a := acc[i]
-		return fmt.Sprintf("; actual %d probes → %d", a.Lookups, a.Fetched)
+		out := fmt.Sprintf("; actual %d probes → %d", a.Lookups, a.Fetched)
+		if a.Skipped > 0 {
+			out += fmt.Sprintf("; skipped %d probes (limit)", a.Skipped)
+		}
+		return out
 	}
 	est := func(lookups, fetch float64) string {
 		if !opts.Estimates {
@@ -105,17 +119,29 @@ func (p *Plan) ExplainOpts(opts ExplainOptions) string {
 	if opts.Estimates {
 		fmt.Fprintf(&b, "  estimated tuples fetched: %s\n", fnum(p.EstFetch))
 	}
+	if opts.Limit > 0 {
+		if opts.Limited {
+			fmt.Fprintf(&b, "  limit: %d — stream stopped early, upstream probes saved\n", opts.Limit)
+		} else {
+			fmt.Fprintf(&b, "  limit: %d — answer fit within the limit, fetch ran to exhaustion\n", opts.Limit)
+		}
+	}
 	if opts.Actuals != nil {
-		var lookups, fetched int64
+		var lookups, fetched, skipped int64
 		for _, a := range opts.Actuals.Steps {
 			lookups += a.Lookups
 			fetched += a.Fetched
+			skipped += a.Skipped
 		}
 		for _, a := range opts.Actuals.Verifies {
 			lookups += a.Lookups
 			fetched += a.Fetched
+			skipped += a.Skipped
 		}
 		fmt.Fprintf(&b, "  actual: %d probes, %d tuples fetched\n", lookups, fetched)
+		if skipped > 0 {
+			fmt.Fprintf(&b, "  saved by early termination: ≥ %d probes never issued\n", skipped)
+		}
 	}
 	return b.String()
 }

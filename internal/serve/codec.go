@@ -19,6 +19,16 @@ type queryRequest struct {
 	Args []json.RawMessage `json:"args"`
 	// TimeoutMS overrides the server's default per-request deadline.
 	TimeoutMS int64 `json:"timeout_ms"`
+	// Limit > 0 switches the request to the streamed, paged path: at most
+	// Limit answer tuples are returned, the response streams as they are
+	// produced, and — when more answers remain — next_cursor carries an
+	// opaque token that continues the scan on the same pinned snapshot.
+	// Paged responses bypass the result cache.
+	Limit int64 `json:"limit"`
+	// Cursor continues a previous paged request. Tokens are single-use:
+	// each page invalidates its token and returns a fresh one. When set,
+	// Query and Args must be absent (the cursor carries the whole scan).
+	Cursor string `json:"cursor"`
 }
 
 // ingestRequest is the POST /ingest body.

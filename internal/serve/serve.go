@@ -75,6 +75,13 @@ type Options struct {
 	Ingest func(ops []live.Op) error
 	// Metrics adds store-side counters to /stats when non-nil.
 	Metrics StoreMetrics
+	// CursorCap caps concurrently open pagination cursors (0 means
+	// DefaultCursorCap); beyond it the oldest cursor is evicted. Each
+	// open cursor pins one snapshot.
+	CursorCap int
+	// CursorTTL is how long an idle cursor stays claimable (0 means
+	// DefaultCursorTTL). Expired cursors answer 410 Gone.
+	CursorTTL time.Duration
 }
 
 // DefaultResultCacheSize is the result-cache capacity when Options
@@ -88,6 +95,7 @@ type Server struct {
 	ingest   func(ops []live.Op) error
 	metrics  StoreMetrics
 	cache    *resultCache
+	cursors  *cursorRegistry
 	workers  int
 	maxQueue int
 	timeout  time.Duration
@@ -136,6 +144,7 @@ func New(eng *engine.Engine, opts Options) (*Server, error) {
 		maxQueue: maxQueue,
 		timeout:  timeout,
 		sem:      make(chan struct{}, workers),
+		cursors:  newCursorRegistry(opts.CursorCap, opts.CursorTTL),
 	}
 	switch {
 	case opts.ResultCacheSize < 0:
@@ -281,9 +290,13 @@ func (s *Server) runOnWorker(w http.ResponseWriter, r *http.Request, timeoutMS i
 	}
 }
 
-// handleQuery answers POST /query: prepare (plan-cached), pin a view,
-// serve from the result cache when the (fingerprint, args, epoch) key
-// hits, execute and fill the cache otherwise.
+// handleQuery answers POST /query. The buffered path prepares
+// (plan-cached), pins a view, and serves from the result cache when the
+// (fingerprint, args, epoch) key hits. Requests with limit > 0 or a
+// cursor take the streamed, paged path instead: the response is written
+// as the stream produces answers and never touches the result cache —
+// a page is a prefix of the answer, and caching a prefix under the
+// full-query key would serve truncated answers to unlimited requests.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		apiError(w, http.StatusMethodNotAllowed, "POST required")
@@ -295,6 +308,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Limit < 0 {
+		apiError(w, http.StatusBadRequest, "limit %d: must be ≥ 0 (0 = unlimited)", req.Limit)
+		return
+	}
+	if req.Cursor != "" {
+		if req.Query != "" || len(req.Args) > 0 {
+			apiError(w, http.StatusBadRequest, "a cursor continuation carries the whole scan; query and args must be absent")
+			return
+		}
+		s.servePage(w, r, req, nil)
+		return
+	}
 	if req.Query == "" {
 		apiError(w, http.StatusBadRequest, "missing query text")
 		return
@@ -302,6 +327,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	args, err := decodeArgs(req.Args)
 	if err != nil {
 		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Limit > 0 {
+		s.servePage(w, r, req, args)
 		return
 	}
 	s.runOnWorker(w, r, req.TimeoutMS, func() handlerResult {
@@ -348,6 +377,157 @@ func (s *Server) execQuery(text string, args []value.Value) handlerResult {
 		s.cache.put(key, body)
 	}
 	return handlerResult{status: http.StatusOK, v: queryEnvelope{Result: body, Epoch: epoch}}
+}
+
+// pageFlushEvery is how many streamed tuples are written between
+// explicit flushes on the paged path.
+const pageFlushEvery = 64
+
+// servePage is the streamed, paged form of /query: it opens a
+// cursor-backed stream (or claims the cursor of a continuation) and
+// writes the page as the stream produces it. The request occupies a
+// worker slot like any execution, but runs on the handler goroutine —
+// the bytes go straight to the client, chunked, so the deadline is
+// enforced between tuples rather than by abandoning the worker.
+func (s *Server) servePage(w http.ResponseWriter, r *http.Request, req queryRequest, args []value.Value) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errOverloaded) {
+			apiError(w, http.StatusServiceUnavailable, "overloaded: %d requests in flight or queued", s.workers+s.maxQueue)
+		} else {
+			apiError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+		}
+		return
+	}
+	defer s.release()
+	if s.testHold != nil {
+		<-s.testHold
+	}
+
+	var st *cursorState
+	if req.Cursor != "" {
+		st = s.cursors.claim(req.Cursor)
+		if st == nil {
+			apiError(w, http.StatusGone, "unknown or expired cursor (tokens are single-use; restart the scan)")
+			return
+		}
+		if req.Limit > 0 {
+			st.pageSize = int(req.Limit)
+		}
+	} else {
+		p, err := s.eng.Prepare(req.Query)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Pin the view now; the cursor holds it for the scan's lifetime,
+		// so every later page reads this exact snapshot.
+		view := s.eng.View()
+		stream, err := p.ExecStreamOn(view, exec.StreamOptions{}, args...)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		st = &cursorState{
+			stream:      stream,
+			view:        view,
+			epoch:       epochKeyOf(view),
+			fingerprint: p.Query().String(),
+			pageSize:    int(req.Limit),
+		}
+	}
+	s.writePage(ctx, w, st)
+}
+
+// writePage streams one page of answers and a trailer with statistics
+// and the continuation cursor, all one JSON document. The result field
+// matches the buffered path's shape; stats are cumulative over the
+// cursor's whole scan so the final page reports the full bounded fetch.
+func (s *Server) writePage(ctx context.Context, w http.ResponseWriter, st *cursorState) {
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+
+	cols := st.stream.Cols()
+	if cols == nil {
+		cols = []string{}
+	}
+	colsJSON, _ := json.Marshal(cols)
+	fmt.Fprintf(w, `{"result":{"cols":%s,"tuples":[`, colsJSON)
+
+	var (
+		n         int
+		streamErr error
+		timedOut  bool
+	)
+	for n < st.pageSize {
+		if ctx.Err() != nil {
+			// Mid-page deadline: close the page honestly and hand back a
+			// cursor so the client resumes where the budget ran out.
+			timedOut = true
+			s.timeouts.Add(1)
+			break
+		}
+		tu, ok, err := st.stream.Next()
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		row := make([]any, len(tu))
+		for j, v := range tu {
+			row[j] = encodeValue(v)
+		}
+		b, err := json.Marshal(row)
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if n > 0 {
+			_, _ = w.Write([]byte{','})
+		}
+		_, _ = w.Write(b)
+		n++
+		if flusher != nil && n%pageFlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+
+	res := st.stream.Result()
+	complete := streamErr == nil && !timedOut && st.stream.Done()
+	next := ""
+	if streamErr == nil && !complete {
+		if tok, err := s.cursors.put(st); err == nil {
+			next = tok
+		} else {
+			streamErr = err
+		}
+	}
+	trailer, _ := json.Marshal(statsPayload{
+		IndexLookups:  res.Stats.IndexLookups,
+		TuplesFetched: res.Stats.TuplesFetched,
+		TuplesScanned: res.Stats.TuplesScanned,
+	})
+	fmt.Fprintf(w, `],"stats":%s,"dq_size":%d},"cached":false,"epoch":%s,"next_cursor":%s,"complete":%v`,
+		trailer, res.DQSize, jsonString(st.epoch), jsonString(next), complete)
+	if streamErr != nil {
+		fmt.Fprintf(w, `,"error":%s`, jsonString(streamErr.Error()))
+	} else if timedOut {
+		fmt.Fprintf(w, `,"error":%s`, jsonString("deadline exceeded mid-page; resume with next_cursor"))
+	}
+	_, _ = w.Write([]byte("}\n"))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// jsonString renders a string as its JSON literal.
+func jsonString(s string) []byte {
+	b, _ := json.Marshal(s)
+	return b
 }
 
 // epochKeyOf extracts a store view's data-version key. An empty string
@@ -463,6 +643,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:  s.waiting.Load(),
 			Workers:   s.workers,
 			MaxQueue:  s.maxQueue,
+
+			CursorsOpen:    s.cursors.open(),
+			CursorsExpired: s.cursors.expired.Load(),
+			CursorsEvicted: s.cursors.evicted.Load(),
 		},
 		// Display accessors only: no view pin, so a liveness or metrics
 		// prober never contends with writers or view pins.
@@ -492,6 +676,11 @@ type serverStats struct {
 	InFlight  int64 `json:"in_flight"`
 	Workers   int   `json:"workers"`
 	MaxQueue  int   `json:"max_queue"`
+
+	// Pagination-cursor registry counters.
+	CursorsOpen    int   `json:"cursors_open"`
+	CursorsExpired int64 `json:"cursors_expired"`
+	CursorsEvicted int64 `json:"cursors_evicted"`
 }
 
 // statsResponse is the /stats document.
