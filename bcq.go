@@ -62,11 +62,15 @@
 package bcq
 
 import (
+	"io"
+	"time"
+
 	"bcq/internal/baseline"
 	"bcq/internal/core"
 	"bcq/internal/engine"
 	"bcq/internal/exec"
 	"bcq/internal/live"
+	"bcq/internal/obs"
 	"bcq/internal/plan"
 	"bcq/internal/schema"
 	"bcq/internal/serve"
@@ -448,6 +452,42 @@ type (
 // /ingest, and ServeOptions.Metrics to the store for /stats.
 func NewQueryServer(eng *Engine, opts ServeOptions) (*QueryServer, error) {
 	return serve.New(eng, opts)
+}
+
+// Re-exported observability types (internal/obs): a dependency-free
+// metrics registry with Prometheus text exposition, per-query span
+// tracing, and a sampling slow-query log. Share one registry across the
+// engine (EngineOptions.Metrics), the store (Instrument) and the server
+// (ServeOptions.Obs) so a single GET /metrics scrape covers request
+// latency, plan/result caches, executor waves and probes, per-shard
+// fan-out, ingest throughput and epoch freshness.
+type (
+	// MetricsRegistry holds metric families and renders them in
+	// Prometheus text exposition format (Handler serves GET /metrics).
+	MetricsRegistry = obs.Registry
+	// Observer bundles the serving layer's observability handles.
+	Observer = obs.Observer
+	// Trace is one request's span tree; mint with NewTrace, render with
+	// Tree/JSON, or let Prepared.ExecTrace record into it.
+	Trace = obs.Trace
+	// TraceSpan is one timed operation in a trace.
+	TraceSpan = obs.Span
+	// SlowQueryLog records sampled slow queries as JSON lines.
+	SlowQueryLog = obs.SlowLog
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTrace builds a trace with the given ID ("" mints one) and root span
+// name.
+func NewTrace(id, rootName string) *Trace { return obs.NewTrace(id, rootName) }
+
+// NewSlowQueryLog builds a slow-query log writing JSON lines to w:
+// queries at or above threshold qualify, and 1-in-sampleN qualifying
+// queries are written (sampleN ≤ 1 writes every one).
+func NewSlowQueryLog(w io.Writer, threshold time.Duration, sampleN int) *SlowQueryLog {
+	return obs.NewSlowLog(w, threshold, sampleN)
 }
 
 // BaselineResult is a full-data evaluation answer.

@@ -63,6 +63,7 @@ func main() {
 	shards := flag.Int("shards", 1, "partition the store into P shards (1 = single store)")
 	limit := flag.Int("limit", 0, "early termination: stop each query after N answers (0 = all), reporting the probes saved")
 	explain := flag.Bool("explain", false, "print each query's cost-based plan with estimated and actual per-step fetches")
+	trace := flag.Bool("trace", false, "run each query traced and print its span tree (prepare → waves → fetch/verify → shards)")
 	verbose := flag.Bool("v", false, "print per-relation access breakdown and per-shard balance")
 	flag.Parse()
 
@@ -77,6 +78,7 @@ func main() {
 		shards:   *shards,
 		limit:    *limit,
 		explain:  *explain,
+		trace:    *trace,
 		verbose:  *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bqrun:", err)
@@ -96,6 +98,7 @@ type config struct {
 	shards   int
 	limit    int
 	explain  bool
+	trace    bool
 	verbose  bool
 }
 
@@ -584,7 +587,13 @@ func driveIngest(eng *engine.Engine, tgt ingestTarget, queries []*bcq.Query, n i
 
 func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, c config) error {
 	fmt.Printf("== %s\n   %s\n", q.Name, q)
-	prep, err := eng.PrepareQuery(q)
+	// -trace threads one trace through prepare and execution; the span
+	// tree (prepare → waves → fetch/verify → shards) prints after the run.
+	var tr *bcq.Trace
+	if c.trace {
+		tr = bcq.NewTrace("", q.Name)
+	}
+	prep, err := eng.PrepareQueryTraced(q, tr)
 	if err != nil {
 		var nebErr *plan.NotEffectivelyBoundedError
 		if errors.As(err, &nebErr) {
@@ -597,15 +606,19 @@ func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, c config) err
 		return fmt.Errorf("query %s has %d unbound placeholders; bqrun runs fully instantiated queries", q.Name, prep.NumParams())
 	}
 	start := time.Now()
-	res, err := prep.Exec()
+	res, err := prep.ExecTrace(tr)
 	if err != nil {
 		return err
 	}
 	evalTime := time.Since(start)
+	tr.Finish()
 	fmt.Printf("   evalDQ:   %5d answers in %8v — fetched %d tuples (|D_Q| = %d, bound %s)\n",
 		len(res.Tuples), evalTime.Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, prep.FetchBound())
 	if c.explain {
+		// Explain renders the span tree itself when the result is traced.
 		fmt.Print(indentBlock(prep.Explain(res)))
+	} else if tr != nil {
+		fmt.Print(indentBlock(tr.Tree()))
 	}
 	if c.limit > 0 {
 		if err := runLimited(prep, res, c); err != nil {

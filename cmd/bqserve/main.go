@@ -38,18 +38,32 @@
 // pool bounds concurrent executions (-workers), queues up to -queue
 // requests beyond that, rejects the rest with 503, and enforces a
 // per-request deadline (-timeout, or the request's timeout_ms).
+//
+// Observability is opt-in: -metrics exposes every subsystem's counters,
+// gauges and latency histograms in Prometheus text format at GET
+// /metrics; -slow-query-log appends one JSON line per sampled slow query
+// (threshold -slow-threshold, 1-in--slow-sample) with the fingerprint,
+// the plan's estimate-versus-actual accounting and the span tree; and
+// -pprof-addr serves net/http/pprof on a separate listener so profiling
+// never shares the query port.
+//
+//	bqserve -dataset social -metrics \
+//	  -slow-query-log slow.jsonl -slow-threshold 50ms \
+//	  -pprof-addr localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"bcq/internal/datagen"
 	"bcq/internal/engine"
 	"bcq/internal/live"
+	"bcq/internal/obs"
 	"bcq/internal/serve"
 	"bcq/internal/shard"
 )
@@ -66,23 +80,43 @@ func main() {
 	cacheSize := flag.Int("cache", serve.DefaultResultCacheSize, "result cache entries (negative disables)")
 	cursorCap := flag.Int("cursor-cap", serve.DefaultCursorCap, "max concurrently open pagination cursors (each pins one snapshot)")
 	cursorTTL := flag.Duration("cursor-ttl", serve.DefaultCursorTTL, "idle pagination cursors expire after this long (then answer 410)")
+	metrics := flag.Bool("metrics", false, "expose Prometheus-format metrics at GET /metrics")
+	slowLog := flag.String("slow-query-log", "", "append sampled slow queries as JSON lines to this file (- for stderr)")
+	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "queries at least this slow are slow-log candidates")
+	slowSample := flag.Int("slow-sample", 1, "log every Nth slow-log candidate")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	flag.Parse()
 
 	srv, info, err := buildServer(config{
-		dataset:   *dataset,
-		scale:     *scale,
-		shards:    *shards,
-		parallel:  *parallel,
-		workers:   *workers,
-		queue:     *queue,
-		timeout:   *timeout,
-		cacheSize: *cacheSize,
-		cursorCap: *cursorCap,
-		cursorTTL: *cursorTTL,
+		dataset:       *dataset,
+		scale:         *scale,
+		shards:        *shards,
+		parallel:      *parallel,
+		workers:       *workers,
+		queue:         *queue,
+		timeout:       *timeout,
+		cacheSize:     *cacheSize,
+		cursorCap:     *cursorCap,
+		cursorTTL:     *cursorTTL,
+		metrics:       *metrics,
+		slowLog:       *slowLog,
+		slowThreshold: *slowThreshold,
+		slowSample:    *slowSample,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bqserve:", err)
 		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		// pprof rides http.DefaultServeMux (the blank net/http/pprof
+		// import) on its own listener so profiling endpoints are never
+		// reachable through the query port.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "bqserve: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof on %s\n", *pprofAddr)
 	}
 	fmt.Println(info)
 	fmt.Printf("listening on %s\n", *addr)
@@ -94,16 +128,20 @@ func main() {
 
 // config carries the validated flag set.
 type config struct {
-	dataset   string
-	scale     float64
-	shards    int
-	parallel  int
-	workers   int
-	queue     int
-	timeout   time.Duration
-	cacheSize int
-	cursorCap int
-	cursorTTL time.Duration
+	dataset       string
+	scale         float64
+	shards        int
+	parallel      int
+	workers       int
+	queue         int
+	timeout       time.Duration
+	cacheSize     int
+	cursorCap     int
+	cursorTTL     time.Duration
+	metrics       bool
+	slowLog       string
+	slowThreshold time.Duration
+	slowSample    int
 }
 
 func (c config) validate() error {
@@ -124,6 +162,12 @@ func (c config) validate() error {
 	}
 	if c.cursorTTL < 0 {
 		return fmt.Errorf("-cursor-ttl %v: cursor lifetime must be ≥ 0 (0 = default)", c.cursorTTL)
+	}
+	if c.slowThreshold < 0 {
+		return fmt.Errorf("-slow-threshold %v: threshold must be ≥ 0", c.slowThreshold)
+	}
+	if c.slowSample < 0 {
+		return fmt.Errorf("-slow-sample %d: sampling rate must be ≥ 0 (0 = every candidate)", c.slowSample)
 	}
 	return nil
 }
@@ -158,6 +202,26 @@ func buildServer(c config) (*serve.Server, string, error) {
 		return nil, "", err
 	}
 
+	// Observability is assembled before the store so instrumentation is
+	// registered before any traffic: a registry when -metrics is set, a
+	// slow-query log when a path is given, bundled into one Observer that
+	// the serving layer consults (nil fields degrade to no-ops).
+	ob := &obs.Observer{}
+	if c.metrics {
+		ob.Metrics = obs.NewRegistry()
+	}
+	if c.slowLog != "" {
+		w := os.Stderr
+		if c.slowLog != "-" {
+			f, err := os.OpenFile(c.slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, "", fmt.Errorf("-slow-query-log: %w", err)
+			}
+			w = f
+		}
+		ob.SlowLog = obs.NewSlowLog(w, c.slowThreshold, c.slowSample)
+	}
+
 	opts := serve.Options{
 		Workers:         c.workers,
 		MaxQueue:        c.queue,
@@ -165,8 +229,9 @@ func buildServer(c config) (*serve.Server, string, error) {
 		ResultCacheSize: c.cacheSize,
 		CursorCap:       c.cursorCap,
 		CursorTTL:       c.cursorTTL,
+		Obs:             ob,
 	}
-	engOpts := engine.Options{Parallelism: c.parallel}
+	engOpts := engine.Options{Parallelism: c.parallel, Metrics: ob.Metrics}
 
 	var (
 		eng  *engine.Engine
@@ -177,6 +242,7 @@ func buildServer(c config) (*serve.Server, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
+		ss.Instrument(ob.Metrics)
 		eng, err = engine.NewSharded(ss, engOpts)
 		if err != nil {
 			return nil, "", err
@@ -189,6 +255,7 @@ func buildServer(c config) (*serve.Server, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
+		ls.Instrument(ob.Metrics)
 		eng, err = engine.NewLive(ls, engOpts)
 		if err != nil {
 			return nil, "", err

@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bcq/internal/exec"
 	"bcq/internal/live"
 	"bcq/internal/lru"
+	"bcq/internal/obs"
 	"bcq/internal/schema"
 	"bcq/internal/shard"
 	"bcq/internal/spc"
@@ -70,6 +72,9 @@ type Source interface {
 	// check. Implementations must make this cheap and lock-free: it runs
 	// on every cache-hit Prepare.
 	CardStats() stats.Snapshot
+	// NumShards is the store's partition count: 1 for unsharded stores.
+	// Readiness reporting (/healthz) reads it without pinning a view.
+	NumShards() int
 }
 
 // dbSource serves a sealed database forever: constant data, constant
@@ -86,6 +91,7 @@ func (s dbSource) Access() *schema.AccessSchema { return s.acc }
 func (s dbSource) Version() uint64              { return 0 }
 func (s dbSource) EpochKey() string             { return s.db.EpochKey() }
 func (s dbSource) CardStats() stats.Snapshot    { return s.cs }
+func (s dbSource) NumShards() int               { return 1 }
 
 // liveSource pins the live store's current epoch per evaluation.
 type liveSource struct{ ls *live.Store }
@@ -95,6 +101,7 @@ func (s liveSource) Access() *schema.AccessSchema { return s.ls.Access() }
 func (s liveSource) Version() uint64              { return s.ls.SchemaVersion() }
 func (s liveSource) EpochKey() string             { return s.ls.EpochKey() }
 func (s liveSource) CardStats() stats.Snapshot    { return s.ls.CardStats() }
+func (s liveSource) NumShards() int               { return 1 }
 
 // shardSource pins a consistent epoch vector across every shard per
 // evaluation.
@@ -105,6 +112,7 @@ func (s shardSource) Access() *schema.AccessSchema { return s.ss.Access() }
 func (s shardSource) Version() uint64              { return s.ss.SchemaVersion() }
 func (s shardSource) EpochKey() string             { return s.ss.EpochKey() }
 func (s shardSource) CardStats() stats.Snapshot    { return s.ss.CardStats() }
+func (s shardSource) NumShards() int               { return s.ss.NumShards() }
 
 // Options tunes an engine.
 type Options struct {
@@ -113,6 +121,13 @@ type Options struct {
 	// Parallelism is the executor's probe worker-pool width (≤ 1 means
 	// sequential execution).
 	Parallelism int
+	// Metrics, when non-nil, instruments the engine on that registry:
+	// prepare latency by outcome, plan-cache counters, executor probe and
+	// wave metrics. One registry should back at most one engine — the
+	// counter families are unlabeled, so two engines would register the
+	// first one's closures for both. Nil disables instrumentation at the
+	// cost of one nil check per site.
+	Metrics *obs.Registry
 }
 
 // DefaultPlanCacheSize is the plan-cache capacity when Options leaves it
@@ -171,6 +186,15 @@ type Engine struct {
 	// analyze→plan pipeline, outside the engine mutex — the observation
 	// point proving that preparations of distinct fingerprints overlap.
 	buildHook func(fp string)
+
+	// metrics instruments (all nil when Options.Metrics was nil): prepare
+	// latency split by outcome, and the executor's pre-resolved bundle,
+	// injected into every Run/Stream the engine starts.
+	metrics     *obs.Registry
+	execMetrics *obs.ExecMetrics
+	prepHit     *obs.Histogram
+	prepMiss    *obs.Histogram
+	prepErr     *obs.Histogram
 
 	prepares     atomic.Int64
 	hits         atomic.Int64
@@ -245,7 +269,7 @@ func assemble(cat *schema.Catalog, db *storage.Database, src Source, opts Option
 	if size <= 0 {
 		size = DefaultPlanCacheSize
 	}
-	return &Engine{
+	e := &Engine{
 		cat:    cat,
 		db:     db,
 		src:    src,
@@ -254,6 +278,37 @@ func assemble(cat *schema.Catalog, db *storage.Database, src Source, opts Option
 		errs:   lru.New[*cacheEntry](size),
 		flight: make(map[string]*inflight),
 	}
+	e.instrument(opts.Metrics)
+	return e
+}
+
+// instrument registers the engine's metrics on a registry (nil: no-op —
+// every handle stays nil and the hot paths skip their observations). The
+// plan-cache counters are scrape-time bridges over the atomics Stats()
+// already maintains, so instrumentation adds no write-path cost.
+func (e *Engine) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.metrics = reg
+	e.execMetrics = obs.NewExecMetrics(reg)
+	const prepName = "bcq_prepare_seconds"
+	const prepHelp = "Latency of Prepare by outcome (hit: plan cache; miss: full analyze->plan; error: rejected shape)."
+	e.prepHit = reg.Histogram(prepName, prepHelp, obs.LatencyBuckets, obs.L("outcome", "hit"))
+	e.prepMiss = reg.Histogram(prepName, prepHelp, obs.LatencyBuckets, obs.L("outcome", "miss"))
+	e.prepErr = reg.Histogram(prepName, prepHelp, obs.LatencyBuckets, obs.L("outcome", "error"))
+	cf := func(name, help string, load func() int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(load()) })
+	}
+	cf("bcq_plan_prepares_total", "Prepare/PrepareQuery calls.", e.prepares.Load)
+	cf("bcq_plan_cache_hits_total", "Prepares answered from the plan cache.", e.hits.Load)
+	cf("bcq_plan_cache_misses_total", "Prepares that ran the analyze->plan pipeline.", e.misses.Load)
+	cf("bcq_plan_cache_evictions_total", "Cached plans displaced by the LRU policy.", e.evictions.Load)
+	cf("bcq_plan_stale_retries_total", "Cached errors retried after a schema-version advance.", e.staleRetries.Load)
+	cf("bcq_plan_replans_total", "Cached plans rebuilt after cardinality drift.", e.replans.Load)
+	cf("bcq_exec_runs_total", "Prepared executions started.", e.execs.Load)
+	reg.GaugeFunc("bcq_plan_cache_entries", "Plans currently cached.",
+		func() float64 { return float64(e.CacheLen()) })
 }
 
 // Catalog returns the engine's catalog.
@@ -278,6 +333,14 @@ func (e *Engine) View() exec.Store { return e.src.View() }
 // without pinning a view (on a sharded store, without excluding
 // writers). Cache keys must come from a pinned view instead.
 func (e *Engine) EpochKey() string { return e.src.EpochKey() }
+
+// Shards returns the source's partition count (1 for unsharded stores),
+// without pinning a view — readiness reporting reads it per request.
+func (e *Engine) Shards() int { return e.src.NumShards() }
+
+// Metrics returns the registry the engine was instrumented on (nil when
+// instrumentation is disabled).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
@@ -312,17 +375,34 @@ func (e *Engine) Prepare(text string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.prepare(q)
+	return e.prepare(q, nil)
+}
+
+// PrepareTraced is Prepare with a "prepare" span recorded on tr, tagged
+// with whether the plan cache answered. Nil tr behaves like Prepare.
+func (e *Engine) PrepareTraced(text string, tr *obs.Trace) (*Prepared, error) {
+	q, err := spc.Parse(text, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	return e.prepare(q, tr)
 }
 
 // PrepareQuery prepares an already-built SPC query. The query is cloned
 // and validated; the caller's value is not retained.
 func (e *Engine) PrepareQuery(q *spc.Query) (*Prepared, error) {
+	return e.PrepareQueryTraced(q, nil)
+}
+
+// PrepareQueryTraced is PrepareQuery with a "prepare" span recorded on
+// tr, tagged with whether the plan cache answered. Nil tr behaves like
+// PrepareQuery.
+func (e *Engine) PrepareQueryTraced(q *spc.Query, tr *obs.Trace) (*Prepared, error) {
 	cq := q.Clone()
 	if err := cq.Validate(e.cat); err != nil {
 		return nil, err
 	}
-	return e.prepare(cq)
+	return e.prepare(cq, tr)
 }
 
 // Exec is the one-shot convenience: Prepare followed by Exec. Repeated
@@ -335,8 +415,41 @@ func (e *Engine) Exec(text string, args ...value.Value) (*exec.Result, error) {
 	return p.Exec(args...)
 }
 
-// prepare serves a validated query from the plan cache, planning it at
-// most once per fingerprint per schema/epoch version. Successful plans
+// prepare wraps lookupOrBuild with the engine's prepare instrumentation:
+// latency observed on the outcome-labeled histogram, and — when tr is
+// non-nil — a "prepare" span tagged with the cache verdict. With metrics
+// disabled and no trace it costs exactly one extra branch.
+func (e *Engine) prepare(q *spc.Query, tr *obs.Trace) (*Prepared, error) {
+	if e.metrics == nil && tr == nil {
+		prep, _, err := e.lookupOrBuild(q)
+		return prep, err
+	}
+	var sp *obs.Span
+	if tr != nil {
+		sp = tr.Root().Child("prepare")
+	}
+	start := time.Now()
+	prep, cached, err := e.lookupOrBuild(q)
+	d := time.Since(start).Seconds()
+	switch {
+	case err != nil:
+		e.prepErr.Observe(d)
+		sp.Tag("outcome", "error")
+	case cached:
+		e.prepHit.Observe(d)
+		sp.Tag("cache", "hit")
+	default:
+		e.prepMiss.Observe(d)
+		sp.Tag("cache", "miss")
+	}
+	sp.End()
+	return prep, err
+}
+
+// lookupOrBuild serves a validated query from the plan cache, planning it
+// at most once per fingerprint per schema/epoch version; cached reports
+// whether the answer (plan or error) came from the cache or an in-flight
+// build it joined, rather than a pipeline run by this call. Successful plans
 // stay sound forever (live admission keeps D |= A invariant across
 // epochs) but are *versioned by a stats fingerprint*: a cache hit whose
 // plan was costed against cardinalities that have since drifted past the
@@ -348,7 +461,7 @@ func (e *Engine) Exec(text string, args ...value.Value) (*exec.Result, error) {
 // mutex is never held across the boundedness analysis: concurrent
 // prepares of distinct fingerprints overlap, and same-fingerprint
 // prepares coalesce on one in-flight analysis.
-func (e *Engine) prepare(q *spc.Query) (*Prepared, error) {
+func (e *Engine) lookupOrBuild(q *spc.Query) (prep *Prepared, cached bool, err error) {
 	e.prepares.Add(1)
 	fp := fingerprint(q)
 
@@ -368,7 +481,7 @@ func (e *Engine) prepare(q *spc.Query) (*Prepared, error) {
 			// the engine mutex under serving load.
 			if ent.prep.statsFP == "" || e.src.CardStats().Fingerprint(ent.prep.acKeys) == ent.prep.statsFP {
 				e.hits.Add(1)
-				return ent.prep, nil
+				return ent.prep, true, nil
 			}
 			// Observed cardinalities drifted: re-plan without restart.
 			// Remove only the entry we judged stale — a concurrent
@@ -386,7 +499,7 @@ func (e *Engine) prepare(q *spc.Query) (*Prepared, error) {
 			if ent.version >= ver {
 				e.mu.Unlock()
 				e.hits.Add(1)
-				return nil, ent.err
+				return nil, true, ent.err
 			}
 			// The store moved past the cached verdict: drop it and re-analyze.
 			e.errs.Remove(fp)
@@ -403,7 +516,7 @@ func (e *Engine) prepare(q *spc.Query) (*Prepared, error) {
 				continue
 			}
 			e.hits.Add(1)
-			return fl.prep, fl.err
+			return fl.prep, true, fl.err
 		}
 		fl := &inflight{done: make(chan struct{}), version: ver}
 		e.flight[fp] = fl
@@ -413,7 +526,7 @@ func (e *Engine) prepare(q *spc.Query) (*Prepared, error) {
 		if h := e.buildHook; h != nil {
 			h(fp)
 		}
-		prep, err := e.build(q, acc)
+		prep, err = e.build(q, acc)
 
 		e.mu.Lock()
 		if err == nil {
@@ -428,7 +541,7 @@ func (e *Engine) prepare(q *spc.Query) (*Prepared, error) {
 
 		fl.prep, fl.err = prep, err
 		close(fl.done)
-		return prep, err
+		return prep, false, err
 	}
 }
 

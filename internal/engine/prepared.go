@@ -7,6 +7,7 @@ import (
 	"bcq/internal/core"
 	"bcq/internal/deduce"
 	"bcq/internal/exec"
+	"bcq/internal/obs"
 	"bcq/internal/plan"
 	"bcq/internal/schema"
 	"bcq/internal/spc"
@@ -169,13 +170,15 @@ func (p *Prepared) EstFetch() float64 { return p.pl.EstFetch }
 func (p *Prepared) StatsFingerprint() string { return p.statsFP }
 
 // Explain renders the plan with its cost estimates; pass a Result from
-// Exec to print each step's actual probe and fetch counts alongside.
+// Exec to print each step's actual probe and fetch counts alongside — and,
+// when the result carries a trace (ExecTrace), the span tree under it.
 func (p *Prepared) Explain(res *exec.Result) string {
 	opts := plan.ExplainOptions{Estimates: p.pl.CostBased}
 	if res != nil {
 		opts.Actuals = &plan.Actuals{Steps: res.StepStats, Verifies: res.VerifyStats}
 		opts.Limit = res.Limit
 		opts.Limited = res.Limited
+		opts.Trace = res.Trace
 	}
 	return p.pl.ExplainOpts(opts)
 }
@@ -197,15 +200,38 @@ func (p *Prepared) Exec(args ...value.Value) (*exec.Result, error) {
 // a live snapshot the caller holds. Use it to answer several queries from
 // one consistent epoch, or to re-evaluate on a historical snapshot.
 func (p *Prepared) ExecOn(st exec.Store, args ...value.Value) (*exec.Result, error) {
+	return p.execOn(st, nil, args)
+}
+
+// ExecTrace is Exec with per-query tracing: the evaluation's waves, fetch
+// steps, per-shard probes and verifications are recorded as a span tree
+// under tr's root, and the result carries the trace (rendered by Explain).
+// A nil tr behaves like Exec.
+func (p *Prepared) ExecTrace(tr *obs.Trace, args ...value.Value) (*exec.Result, error) {
+	return p.ExecTraceOn(p.eng.src.View(), tr, args...)
+}
+
+// ExecTraceOn is ExecTrace against an explicitly pinned store.
+func (p *Prepared) ExecTraceOn(st exec.Store, tr *obs.Trace, args ...value.Value) (*exec.Result, error) {
+	return p.execOn(st, tr, args)
+}
+
+// execOn is the shared buffered execution path: bind, then drain an
+// unbatched stream carrying the engine's executor metrics (and the
+// caller's trace, if any) — byte-identical to the classic evalDQ run.
+func (p *Prepared) execOn(st exec.Store, tr *obs.Trace, args []value.Value) (*exec.Result, error) {
 	p.eng.execs.Add(1)
 	pl, ok, err := p.bind(args)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
-		return p.emptyResult(), nil
+		res := p.emptyResult()
+		res.Trace = tr
+		return res, nil
 	}
-	return p.eng.exe.Run(pl, st)
+	opts := exec.StreamOptions{BatchSize: exec.Unbatched, Trace: tr, Metrics: p.eng.execMetrics}
+	return p.eng.exe.Stream(pl, st, opts).Drain()
 }
 
 // ExecStream opens a pull-based answer stream for the prepared plan with
@@ -221,6 +247,9 @@ func (p *Prepared) ExecStream(opts exec.StreamOptions, args ...value.Value) (*ex
 // ExecStreamOn is ExecStream against an explicitly pinned store.
 func (p *Prepared) ExecStreamOn(st exec.Store, opts exec.StreamOptions, args ...value.Value) (*exec.Stream, error) {
 	p.eng.execs.Add(1)
+	if opts.Metrics == nil {
+		opts.Metrics = p.eng.execMetrics
+	}
 	pl, ok, err := p.bind(args)
 	if err != nil {
 		return nil, err

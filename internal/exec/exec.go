@@ -34,6 +34,7 @@
 package exec
 
 import (
+	"bcq/internal/obs"
 	"bcq/internal/plan"
 	"bcq/internal/schema"
 	"bcq/internal/storage"
@@ -112,6 +113,9 @@ type Result struct {
 	// than by exhausting the bounded fetch.
 	Limit   int
 	Limited bool
+	// Trace is the evaluation's span tree when the run was traced
+	// (StreamOptions.Trace), nil otherwise. plan.Explain renders it.
+	Trace *obs.Trace
 }
 
 // Bool interprets a Boolean query's result.
@@ -160,6 +164,10 @@ type run struct {
 	ex *Executor
 	p  *plan.Plan
 	db Store
+
+	// metrics, when non-nil, receives probe/fetch counters and per-shard
+	// fan-out latencies as they happen (nil-safe instruments inside).
+	metrics *obs.ExecMetrics
 
 	res     *Result
 	lookups int64

@@ -1,8 +1,11 @@
 package exec
 
 import (
+	"fmt"
 	"sync"
+	"time"
 
+	"bcq/internal/obs"
 	"bcq/internal/schema"
 	"bcq/internal/storage"
 	"bcq/internal/value"
@@ -25,14 +28,16 @@ const minParallelBatch = 8
 // way the merge order is independent of goroutine scheduling, so parallel
 // and sharded execution are deterministic. The storage layer's counters
 // are atomic, so the accounting is exact too.
-func (r *run) probeAC(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, []int, error) {
+// sp, when non-nil, is the step's trace span: on partitioned stores each
+// shard's sub-batch becomes a child span tagged with the shard index.
+func (r *run) probeAC(ac schema.AccessConstraint, xs []value.Tuple, sp *obs.Span) ([][]storage.IndexEntry, []int, error) {
 	var (
 		groups [][]storage.IndexEntry
 		owners []int
 		err    error
 	)
 	if ps, ok := r.db.(PartitionedStore); ok && ps.NumShards() > 1 {
-		groups, owners, err = r.scatterGather(ps, ac, xs)
+		groups, owners, err = r.scatterGather(ps, ac, xs, sp)
 	} else {
 		groups, err = r.fanout(ac, xs)
 	}
@@ -40,8 +45,14 @@ func (r *run) probeAC(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage
 		return nil, nil, err
 	}
 	r.lookups += int64(len(xs))
+	var fetched int64
 	for _, g := range groups {
-		r.fetched += int64(len(g))
+		fetched += int64(len(g))
+	}
+	r.fetched += fetched
+	if m := r.metrics; m != nil {
+		m.Probes.Add(int64(len(xs)))
+		m.Fetched.Add(fetched)
 	}
 	return groups, owners, nil
 }
@@ -53,7 +64,7 @@ func (r *run) probeAC(ac schema.AccessConstraint, xs []value.Tuple) ([][]storage
 // probe order within each shard, and groups land back at their probe's
 // position, so the result is byte-identical to probing a single store
 // holding the union of the shards.
-func (r *run) scatterGather(ps PartitionedStore, ac schema.AccessConstraint, xs []value.Tuple) ([][]storage.IndexEntry, []int, error) {
+func (r *run) scatterGather(ps PartitionedStore, ac schema.AccessConstraint, xs []value.Tuple, sp *obs.Span) ([][]storage.IndexEntry, []int, error) {
 	owners, err := ps.Partition(ac, xs)
 	if err != nil {
 		return nil, nil, err
@@ -75,7 +86,20 @@ func (r *run) scatterGather(ps PartitionedStore, ac schema.AccessConstraint, xs 
 		}
 	}
 
+	// Per-shard child spans are created here on the coordinator (Child
+	// serializes under the trace mutex) and ended inside the fetch
+	// goroutines, where End/Tag are single-owner safe.
+	shardSpans := make(map[int]*obs.Span, len(active))
+	if sp != nil {
+		for _, s := range active {
+			shardSpans[s] = sp.Child(fmt.Sprintf("shard %d", s)).
+				TagInt("shard", int64(s)).
+				TagInt("probes", int64(len(buckets[s])))
+		}
+	}
+
 	fetchShard := func(s int) error {
+		start := time.Now()
 		idx := buckets[s]
 		sub := make([]value.Tuple, len(idx))
 		for j, i := range idx {
@@ -83,11 +107,16 @@ func (r *run) scatterGather(ps PartitionedStore, ac schema.AccessConstraint, xs 
 		}
 		groups, err := ps.FetchShard(s, ac, sub)
 		if err != nil {
+			shardSpans[s].End()
 			return err
 		}
+		var fetched int64
 		for j, i := range idx {
 			out[i] = groups[j]
+			fetched += int64(len(groups[j]))
 		}
+		shardSpans[s].TagInt("fetched", fetched).End()
+		r.metrics.ShardProbe(s).Observe(time.Since(start).Seconds())
 		return nil
 	}
 

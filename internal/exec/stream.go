@@ -3,7 +3,9 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"bcq/internal/obs"
 	"bcq/internal/plan"
 	"bcq/internal/storage"
 	"bcq/internal/value"
@@ -63,6 +65,14 @@ type Stream struct {
 	growthDone      bool
 	seedOnlyEmitted bool
 
+	// execSpan is the trace span covering the whole evaluation (nil when
+	// untraced); waves counts advance calls for span naming. finalized
+	// guards the once-per-stream completion bookkeeping (span end,
+	// skipped-probe counters).
+	execSpan  *obs.Span
+	waves     int
+	finalized bool
+
 	done    bool
 	limited bool
 	err     error
@@ -78,6 +88,16 @@ type StreamOptions struct {
 	// 0 means DefaultBatchSize; Unbatched (< 0) removes the cap, making a
 	// full drain execute exactly like the classic one-pass evaluation.
 	BatchSize int
+	// Trace, when non-nil, records the evaluation as a span tree: an
+	// "exec" span with one child per wave, per-step fetch/verify spans
+	// under each wave (shard fan-out spans tagged with the shard index),
+	// and a join span. The trace rides out on Result.Trace. Nil disables
+	// tracing at near-zero cost (one nil check per site).
+	Trace *obs.Trace
+	// Metrics, when non-nil, receives the executor's counters and
+	// latency histograms (wave duration, probes, tuples fetched/skipped,
+	// per-shard probe latency). Nil disables recording.
+	Metrics *obs.ExecMetrics
 }
 
 // DefaultBatchSize is the wave probe budget when StreamOptions leaves it
@@ -125,7 +145,7 @@ type streamTable struct {
 // answers satisfy the caller (or opts.Limit). The stream is not safe for
 // concurrent use; the store must satisfy the same requirements as Run's.
 func (e *Executor) Stream(p *plan.Plan, db Store, opts StreamOptions) *Stream {
-	r := &run{ex: e, p: p, db: db, res: &Result{}}
+	r := &run{ex: e, p: p, db: db, res: &Result{}, metrics: opts.Metrics}
 	s := &Stream{r: r, opts: opts, batch: opts.BatchSize}
 	if s.batch == 0 {
 		s.batch = DefaultBatchSize
@@ -200,6 +220,9 @@ func (s *Stream) Next() (value.Tuple, bool, error) {
 	for s.outHead >= len(s.outbuf) && !s.done && s.err == nil {
 		s.advance()
 	}
+	if s.done || s.err != nil {
+		s.finalize()
+	}
 	if s.err != nil {
 		return nil, false, s.err
 	}
@@ -223,7 +246,43 @@ func (s *Stream) Limited() bool { return s.limited }
 
 // Close stops the stream. Buffered answers stay readable through Next;
 // no further fetching happens. Closing an exhausted stream is a no-op.
-func (s *Stream) Close() { s.done = true }
+func (s *Stream) Close() {
+	s.done = true
+	s.finalize()
+}
+
+// finalize runs the once-per-stream completion bookkeeping: the known
+// saved probes land in the skipped counter and the exec span ends with
+// its totals. Idempotent; called when the stream concludes (drained,
+// limited, errored or closed).
+func (s *Stream) finalize() {
+	if s.finalized {
+		return
+	}
+	s.finalized = true
+	skipped := int64(0)
+	for si := range s.stepEnum {
+		skipped += s.stepEnum[si].pendingCount()
+	}
+	for _, st := range s.vst {
+		if st.enum != nil {
+			skipped += st.enum.pendingCount()
+		}
+	}
+	if m := s.r.metrics; m != nil {
+		m.Skipped.Add(skipped)
+	}
+	if s.execSpan != nil {
+		s.execSpan.TagInt("waves", int64(s.waves))
+		s.execSpan.TagInt("probes", s.r.lookups)
+		s.execSpan.TagInt("fetched", s.r.fetched)
+		if s.limited {
+			s.execSpan.TagInt("skipped", skipped)
+			s.execSpan.Tag("limited", "true")
+		}
+		s.execSpan.End()
+	}
+}
 
 // Result snapshots the access statistics accumulated so far: counters,
 // |D_Q|, per-step breakdowns (with known saved probes in Skipped when the
@@ -235,6 +294,7 @@ func (s *Stream) Result() *Result {
 		Stats:   storage.Stats{IndexLookups: s.r.lookups, TuplesFetched: s.r.fetched},
 		Limit:   s.opts.Limit,
 		Limited: s.limited,
+		Trace:   s.opts.Trace,
 	}
 	if s.r.dq != nil {
 		res.DQSize = s.r.dq.size()
@@ -280,8 +340,32 @@ func (s *Stream) Drain() (*Result, error) {
 // advance runs one wave: a bounded slice of growth, verification in plan
 // order, then the semi-naive join of the wave's table deltas. It either
 // makes progress (probes issued, rows added, answers emitted) or
-// concludes the evaluation.
+// concludes the evaluation. When the stream is traced each wave is a
+// span with per-step fetch/verify children; when metrics are wired the
+// wave's duration lands in the wave histogram.
 func (s *Stream) advance() {
+	s.waves++
+	var waveStart time.Time
+	if s.r.metrics != nil {
+		waveStart = time.Now()
+	}
+	var waveSpan *obs.Span
+	if s.opts.Trace != nil {
+		if s.execSpan == nil {
+			s.execSpan = s.opts.Trace.StartSpan("exec")
+		}
+		waveSpan = s.execSpan.Child(fmt.Sprintf("wave %d", s.waves))
+	}
+	defer func() {
+		waveSpan.End()
+		if s.r.metrics != nil {
+			s.r.metrics.WaveSeconds.Observe(time.Since(waveStart).Seconds())
+		}
+		if s.done || s.err != nil {
+			s.finalize()
+		}
+	}()
+
 	for _, tbl := range s.tables {
 		tbl.waveBase = len(tbl.rows)
 	}
@@ -296,7 +380,7 @@ func (s *Stream) advance() {
 				continue
 			}
 			progress = true
-			if err := s.growStep(si, xs); err != nil {
+			if err := s.growStep(si, xs, waveSpan); err != nil {
 				s.err = err
 				return
 			}
@@ -316,7 +400,7 @@ func (s *Stream) advance() {
 	}
 
 	for vi := range s.r.p.Verifies {
-		adv, err := s.advanceVerify(vi)
+		adv, err := s.advanceVerify(vi, waveSpan)
 		if err != nil {
 			s.err = err
 			return
@@ -329,7 +413,9 @@ func (s *Stream) advance() {
 		}
 	}
 
+	joinSpan := waveSpan.Child("join")
 	emitted, err := s.emitWave()
+	joinSpan.End()
 	if err != nil {
 		s.err = err
 		return
@@ -348,9 +434,18 @@ func (s *Stream) advance() {
 // growStep integrates one batch of a fetch step's probes, mirroring the
 // classic growth phase: count, track D_Q, bind Y values into candidate
 // sets, record for FromStep collectors.
-func (s *Stream) growStep(si int, xs []value.Tuple) error {
+func (s *Stream) growStep(si int, xs []value.Tuple, waveSpan *obs.Span) error {
 	st := s.r.p.Steps[si]
-	groups, owners, err := s.r.probeAC(st.AC, xs)
+	var sp *obs.Span
+	if waveSpan != nil {
+		sp = waveSpan.Child(fmt.Sprintf("fetch T%d: %s via %s", si+1, s.r.p.Query.Atoms[st.Atom].Alias, st.AC))
+	}
+	before := s.r.fetched
+	groups, owners, err := s.r.probeAC(st.AC, xs, sp)
+	if sp != nil {
+		sp.TagInt("probes", int64(len(xs))).TagInt("fetched", s.r.fetched-before)
+		sp.End()
+	}
 	if err != nil {
 		return err
 	}
@@ -378,12 +473,17 @@ func (s *Stream) growStep(si int, xs []value.Tuple) error {
 // and, once the verification is complete, judges emptiness — an empty
 // verified table at exhaustion means the whole answer is empty, matching
 // the classic short-circuit.
-func (s *Stream) advanceVerify(vi int) (bool, error) {
+func (s *Stream) advanceVerify(vi int, waveSpan *obs.Span) (bool, error) {
 	st := s.vst[vi]
 	if st.complete {
 		return false, nil
 	}
 	vs := s.r.p.Verifies[vi]
+	var sp *obs.Span
+	if waveSpan != nil {
+		sp = waveSpan.Child(fmt.Sprintf("verify %s", s.r.p.Query.Atoms[vs.Atom].Alias))
+		defer sp.End()
+	}
 	if vs.Exists {
 		ok, err := s.r.db.NonEmpty(s.r.p.Query.Atoms[vs.Atom].Rel)
 		if err != nil {
@@ -415,10 +515,11 @@ func (s *Stream) advanceVerify(vi int) (bool, error) {
 		xs := st.enum.next(s.r.V, s.batch)
 		if len(xs) > 0 {
 			progress = true
-			groups, owners, err := s.r.probeAC(vs.Witness, xs)
+			groups, owners, err := s.r.probeAC(vs.Witness, xs, sp)
 			if err != nil {
 				return false, err
 			}
+			sp.TagInt("probes", int64(len(xs)))
 			s.r.res.VerifyStats[vi].Lookups += int64(len(xs))
 			for i, entries := range groups {
 				s.r.res.VerifyStats[vi].Fetched += int64(len(entries))

@@ -37,7 +37,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"bcq/internal/obs"
 	"bcq/internal/schema"
 	"bcq/internal/stats"
 	"bcq/internal/storage"
@@ -330,6 +332,15 @@ type Store struct {
 	flattens    atomic.Int64
 	compactions atomic.Int64
 	extensions  atomic.Int64
+
+	// lastCommit is the wall-clock (UnixNano) of the latest published
+	// epoch — construction time until the first commit. It feeds the
+	// bcq_epoch_age_seconds gauge: on an idle store the age grows, on an
+	// ingesting store it stays near zero.
+	lastCommit atomic.Int64
+	// applySec, when instrumented (Instrument, before the store is
+	// shared), times each Apply batch.
+	applySec *obs.Histogram
 }
 
 // New builds a live store over a loaded database. The database's access
@@ -380,6 +391,7 @@ func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store
 	size, total := st.bootstrap(base)
 	root := &Snapshot{st: st, base: base, size: size, numTuples: total, binds: st.byKey, acc: acc}
 	st.cur.Store(root)
+	st.lastCommit.Store(time.Now().UnixNano())
 	return st, nil
 }
 
@@ -449,6 +461,7 @@ func (st *Store) Compact() (uint64, error) {
 		binds: st.byKey, acc: st.acc.Load()}
 	st.compactions.Add(1)
 	st.cur.Store(next)
+	st.lastCommit.Store(time.Now().UnixNano())
 	return next.epoch, nil
 }
 
@@ -655,6 +668,11 @@ func (st *Store) Apply(ops []Op) (uint64, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.batches.Add(1)
+	if st.applySec != nil {
+		defer func(start time.Time) {
+			st.applySec.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 
 	snap := st.cur.Load()
 	tx := newTxn(st, snap)

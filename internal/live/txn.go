@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"time"
 
 	"bcq/internal/storage"
 	"bcq/internal/value"
@@ -368,6 +369,7 @@ func (st *Store) commit(tx *txn) uint64 {
 		next := tx.snapshot()
 		st.applied.Add(tx.nApplied)
 		st.cur.Store(next)
+		st.lastCommit.Store(time.Now().UnixNano())
 		published = next.epoch
 	}
 

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+)
+
+// ExecMetrics is the pre-resolved instrument bundle the streaming
+// executor records into — resolved once at engine construction so the
+// hot path never takes the registry mutex. A nil *ExecMetrics (or nil
+// fields) disables each instrument individually.
+type ExecMetrics struct {
+	// WaveSeconds is the duration of one stream wave (growth +
+	// verification + delta join).
+	WaveSeconds *Histogram
+	// Probes counts index probes issued; Fetched the index entries they
+	// returned; Skipped the probes an early-termination limit saved.
+	Probes  *Counter
+	Fetched *Counter
+	Skipped *Counter
+
+	reg *Registry
+	mu  sync.Mutex
+	// shardProbe caches the per-shard fan-out latency histograms,
+	// indexed by shard.
+	shardProbe []*Histogram
+}
+
+// NewExecMetrics registers the executor's instruments on a registry.
+// Nil registry → nil bundle (fully disabled).
+func NewExecMetrics(reg *Registry) *ExecMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ExecMetrics{
+		WaveSeconds: reg.Histogram("bcq_exec_wave_seconds",
+			"Duration of one streaming-executor wave (growth, verify, delta join).", LatencyBuckets),
+		Probes: reg.Counter("bcq_exec_probes_total",
+			"Index probes issued by bounded evaluation."),
+		Fetched: reg.Counter("bcq_exec_tuples_fetched_total",
+			"Index entries fetched by bounded evaluation."),
+		Skipped: reg.Counter("bcq_exec_probes_skipped_total",
+			"Probes saved by early-termination limits (never issued)."),
+		reg: reg,
+	}
+}
+
+// ShardProbe returns the fan-out latency histogram of one shard,
+// labeled shard="i". Nil-safe; the per-shard handle is cached after the
+// first lookup so scatter-gather pays one mutex on a small slice, not a
+// registry map lookup, per wave.
+func (m *ExecMetrics) ShardProbe(shard int) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.shardProbe) <= shard {
+		m.shardProbe = append(m.shardProbe, nil)
+	}
+	if m.shardProbe[shard] == nil {
+		m.shardProbe[shard] = m.reg.Histogram("bcq_shard_probe_seconds",
+			"Per-shard scatter-gather probe latency.", LatencyBuckets,
+			L("shard", strconv.Itoa(shard)))
+	}
+	return m.shardProbe[shard]
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Expose renders the registry in Prometheus text exposition format
+// (version 0.0.4). Output is deterministic: families sort by name,
+// series by their label-value key, so two scrapes of identical state are
+// byte-identical — the property the golden test pins. Nil registries
+// render as empty.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// WriteText streams the exposition text to w.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := fams[name]
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeSeries(w, f, f.series[k])
+		}
+		f.mu.Unlock()
+	}
+}
+
+// writeSeries renders one labeled series of a family.
+func writeSeries(w io.Writer, f *family, s *series) {
+	switch f.kind {
+	case kindCounter:
+		v := float64(s.ctr.Value())
+		if s.fn != nil {
+			v = s.fn()
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels), fmtFloat(v))
+	case kindGauge:
+		v := s.gauge.Value()
+		if s.fn != nil {
+			v = s.fn()
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels), fmtFloat(v))
+	case kindHistogram:
+		h := s.hist
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, L("le", fmtFloat(bound))), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, L("le", "+Inf")), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(s.labels), fmtFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(s.labels), h.Count())
+	}
+}
+
+// renderLabels renders {a="x",b="y"} ("" with no labels). extra labels
+// (the histogram's le) append after the series' own.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Name, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// fmtFloat renders a value the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest-roundtrip form.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler returns an http.Handler serving the exposition text — mount it
+// at GET /metrics. Safe to call on a nil registry (serves empty output).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

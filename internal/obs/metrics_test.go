@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exposition text byte-for-byte: families
+// sort by name, series by label values, histograms render cumulative
+// le-buckets plus _sum and _count. Registration happens deliberately out
+// of sorted order to prove ordering comes from the renderer.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("bcq_z_gauge", "A gauge.").Set(2.5)
+	h := r.Histogram("bcq_m_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99) // +Inf bucket
+	r.Counter("bcq_a_total", "A counter.", L("op", "write")).Add(3)
+	r.Counter("bcq_a_total", "A counter.", L("op", "read")).Inc()
+
+	want := strings.Join([]string{
+		`# HELP bcq_a_total A counter.`,
+		`# TYPE bcq_a_total counter`,
+		`bcq_a_total{op="read"} 1`,
+		`bcq_a_total{op="write"} 3`,
+		`# HELP bcq_m_seconds A histogram.`,
+		`# TYPE bcq_m_seconds histogram`,
+		`bcq_m_seconds_bucket{le="0.1"} 2`,
+		`bcq_m_seconds_bucket{le="1"} 3`,
+		`bcq_m_seconds_bucket{le="+Inf"} 4`,
+		`bcq_m_seconds_sum 99.6`,
+		`bcq_m_seconds_count 4`,
+		`# HELP bcq_z_gauge A gauge.`,
+		`# TYPE bcq_z_gauge gauge`,
+		`bcq_z_gauge 2.5`,
+	}, "\n") + "\n"
+	if got := r.Expose(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Determinism: a second scrape of identical state is byte-identical.
+	if r.Expose() != want {
+		t.Error("second scrape differs from the first")
+	}
+}
+
+// TestHistogramBuckets checks le-semantics at the boundaries: a value
+// equal to a bound lands in that bound's bucket, one past it in the
+// next, and values beyond the last finite bound in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, // on the bound → that bucket
+		{1.0000001, 1}, {10, 1},
+		{10.5, 2}, {100, 2},
+		{100.5, 3}, {math.Inf(1), 3}, // beyond the last bound → +Inf
+	}
+	for _, c := range cases {
+		before := make([]int64, len(h.counts))
+		for i := range h.counts {
+			before[i] = h.counts[i].Load()
+		}
+		h.Observe(c.v)
+		for i := range h.counts {
+			want := before[i]
+			if i == c.bucket {
+				want++
+			}
+			if got := h.counts[i].Load(); got != want {
+				t.Errorf("Observe(%g): bucket %d count = %d, want %d", c.v, i, got, want)
+			}
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+// TestHistogramQuantile checks linear interpolation within the winning
+// bucket and the +Inf clamp.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", got)
+	}
+	// 10 observations in (1, 2]: rank 5 of 10 interpolates to the middle.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("p50 = %g, want 1.5 (midpoint of bucket (1,2])", got)
+	}
+	// Observations past the last bound clamp to it.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Errorf("p99 beyond last bound = %g, want 1 (clamp)", got)
+	}
+}
+
+// TestRegistrationIdempotent: asking again for the same (name, labels)
+// returns the same instrument, and different label values are distinct
+// series.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("bcq_x_total", "X.", L("k", "1"))
+	b := r.Counter("bcq_x_total", "X.", L("k", "1"))
+	c := r.Counter("bcq_x_total", "X.", L("k", "2"))
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	if a == c {
+		t.Error("distinct label values share a counter")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Errorf("counters not isolated per series: b=%d c=%d", b.Value(), c.Value())
+	}
+}
+
+// TestKindConflictPanics: one name cannot be two metric kinds.
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bcq_dual", "First as counter.")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("bcq_dual", "Now as gauge.")
+}
+
+// TestNilSafety: every instrument handed out by a nil registry, and the
+// registry's own render paths, must be usable without panicking — the
+// disabled mode's whole contract.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Counter("a", "").Add(5)
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", LatencyBuckets).Observe(0.1)
+	r.CounterFunc("d", "", func() float64 { return 1 })
+	r.GaugeFunc("e", "", func() float64 { return 1 })
+	if got := r.Expose(); got != "" {
+		t.Errorf("nil registry exposes %q, want empty", got)
+	}
+	if v := r.Counter("a", "").Value(); v != 0 {
+		t.Errorf("nil counter Value = %d", v)
+	}
+	if v := r.Histogram("c", "", LatencyBuckets).Quantile(0.5); v != 0 {
+		t.Errorf("nil histogram Quantile = %g", v)
+	}
+}
+
+// TestCounterMonotone: negative deltas are ignored.
+func TestCounterMonotone(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d after Add(-3), want 5", c.Value())
+	}
+}
+
+// TestScrapeFuncs: CounterFunc/GaugeFunc read their source at scrape
+// time.
+func TestScrapeFuncs(t *testing.T) {
+	r := NewRegistry()
+	v := 0.0
+	r.CounterFunc("bcq_bridge_total", "Bridge.", func() float64 { return v })
+	v = 7
+	if !strings.Contains(r.Expose(), "bcq_bridge_total 7") {
+		t.Errorf("scrape did not read the bridged value:\n%s", r.Expose())
+	}
+}
+
+// TestConcurrentObserve hammers one histogram and one counter from many
+// goroutines while scraping — meaningful mainly under -race, and checks
+// no observation is lost.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bcq_conc_seconds", "Concurrent.", LatencyBuckets)
+	c := r.Counter("bcq_conc_total", "Concurrent.")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000)
+				c.Inc()
+				if i%100 == 0 {
+					_ = r.Expose()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("histogram Count = %d, want %d", h.Count(), workers*per)
+	}
+	if c.Value() != workers*per {
+		t.Errorf("counter Value = %d, want %d", c.Value(), workers*per)
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog records sampled slow queries as one JSON line each. A query
+// qualifies when its duration reaches Threshold; of the qualifying
+// queries, 1-in-SampleN is written (SampleN ≤ 1 writes every one), so a
+// latency regression cannot turn the log itself into the bottleneck.
+// All methods are nil-safe no-ops on a nil *SlowLog.
+type SlowLog struct {
+	threshold time.Duration
+	sampleN   int64
+
+	mu sync.Mutex
+	w  io.Writer
+
+	seen    atomic.Int64 // qualifying queries, sampled or not
+	written atomic.Int64
+}
+
+// NewSlowLog builds a slow-query log writing JSON lines to w. threshold
+// ≤ 0 qualifies every query; sampleN ≤ 1 writes every qualifying one.
+func NewSlowLog(w io.Writer, threshold time.Duration, sampleN int) *SlowLog {
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	return &SlowLog{threshold: threshold, sampleN: int64(sampleN), w: w}
+}
+
+// Threshold returns the qualifying duration (0 on nil).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// ShouldLog reports whether a query of duration d should be recorded,
+// advancing the sampling counter for qualifying queries. Nil-safe.
+func (l *SlowLog) ShouldLog(d time.Duration) bool {
+	if l == nil || l.w == nil {
+		return false
+	}
+	if d < l.threshold {
+		return false
+	}
+	n := l.seen.Add(1)
+	return (n-1)%l.sampleN == 0
+}
+
+// Written returns how many entries have been written (0 on nil).
+func (l *SlowLog) Written() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.written.Load()
+}
+
+// SlowStep is one plan operation's estimate-versus-actual accounting in
+// a slow-log entry, aligned with the executed plan's fetch and verify
+// steps.
+type SlowStep struct {
+	// Step names the operation ("fetch T1: orders via orders(cust->id)").
+	Step string `json:"step"`
+	// EstLookups/EstFetch are the cost model's expectations (0 when the
+	// plan carried no estimates).
+	EstLookups float64 `json:"est_lookups"`
+	EstFetch   float64 `json:"est_fetch"`
+	// Lookups/Fetched are the execution's actual counts
+	// (exec.Result.StepStats), Skipped the probes an early-termination
+	// limit saved.
+	Lookups int64 `json:"lookups"`
+	Fetched int64 `json:"fetched"`
+	Skipped int64 `json:"skipped,omitempty"`
+}
+
+// SlowEntry is one slow-query log line.
+type SlowEntry struct {
+	Time        string  `json:"ts"`
+	TraceID     string  `json:"trace_id,omitempty"`
+	Endpoint    string  `json:"endpoint"`
+	Fingerprint string  `json:"fingerprint"`
+	DurationMS  float64 `json:"duration_ms"`
+	Outcome     string  `json:"outcome"`
+	Answers     int     `json:"answers"`
+	Fetched     int64   `json:"tuples_fetched"`
+	DQSize      int64   `json:"dq_size"`
+	Limit       int     `json:"limit,omitempty"`
+	// EstFetch vs Fetched is the whole-plan estimate audit; Steps breaks
+	// it down per plan operation.
+	EstFetch float64    `json:"est_fetch,omitempty"`
+	Steps    []SlowStep `json:"steps,omitempty"`
+	// Plan is the human-readable explain rendering (estimates and
+	// actuals side by side).
+	Plan string `json:"plan,omitempty"`
+	// Spans is the request's span tree (Trace.JSON).
+	Spans json.RawMessage `json:"spans,omitempty"`
+}
+
+// Record writes one entry as a single JSON line. Callers gate on
+// ShouldLog; Record itself writes unconditionally (nil-safe).
+func (l *SlowLog) Record(e SlowEntry) {
+	if l == nil || l.w == nil {
+		return
+	}
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(b)
+	l.mu.Unlock()
+	l.written.Add(1)
+}

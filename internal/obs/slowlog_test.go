@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSlowLogThreshold: only durations at or above the threshold
+// qualify.
+func TestSlowLogThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 100*time.Millisecond, 1)
+	if l.ShouldLog(50 * time.Millisecond) {
+		t.Error("below-threshold query qualified")
+	}
+	if !l.ShouldLog(100 * time.Millisecond) {
+		t.Error("at-threshold query did not qualify")
+	}
+	if !l.ShouldLog(time.Second) {
+		t.Error("above-threshold query did not qualify")
+	}
+	if l.Threshold() != 100*time.Millisecond {
+		t.Errorf("Threshold = %v", l.Threshold())
+	}
+}
+
+// TestSlowLogSampling: with sampleN = 3, the 1st, 4th, 7th … qualifying
+// queries are logged.
+func TestSlowLogSampling(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 0, 3)
+	var picked []int
+	for i := 0; i < 9; i++ {
+		if l.ShouldLog(time.Millisecond) {
+			picked = append(picked, i)
+		}
+	}
+	want := []int{0, 3, 6}
+	if len(picked) != len(want) {
+		t.Fatalf("picked %v, want %v", picked, want)
+	}
+	for i := range want {
+		if picked[i] != want[i] {
+			t.Fatalf("picked %v, want %v", picked, want)
+		}
+	}
+}
+
+// TestSlowLogRecord: one entry is one JSON line with the fields the
+// tooling greps for, and Written counts it.
+func TestSlowLogRecord(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 0, 1)
+	l.Record(SlowEntry{
+		TraceID:     "abc",
+		Endpoint:    "query",
+		Fingerprint: "select x from r where k = ?",
+		DurationMS:  12.5,
+		Outcome:     "ok",
+		Answers:     3,
+		Fetched:     40,
+		DQSize:      40,
+		EstFetch:    38,
+		Steps: []SlowStep{
+			{Step: "fetch T1: r via r(k->x)", EstLookups: 1, EstFetch: 38, Lookups: 1, Fetched: 40},
+		},
+		Spans: json.RawMessage(`{"trace_id":"abc"}`),
+	})
+	if l.Written() != 1 {
+		t.Fatalf("Written = %d", l.Written())
+	}
+	line := buf.String()
+	if line[len(line)-1] != '\n' || bytes.Count(buf.Bytes(), []byte("\n")) != 1 {
+		t.Fatalf("entry is not exactly one line: %q", line)
+	}
+	var e SlowEntry
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatalf("entry is not valid JSON: %v", err)
+	}
+	if e.Time == "" {
+		t.Error("ts not stamped")
+	}
+	if e.TraceID != "abc" || e.Fingerprint != "select x from r where k = ?" {
+		t.Errorf("round-trip mismatch: %+v", e)
+	}
+	if len(e.Steps) != 1 || e.Steps[0].Fetched != 40 {
+		t.Errorf("steps round-trip mismatch: %+v", e.Steps)
+	}
+}
+
+// TestSlowLogNilSafety: nil logs neither qualify nor write.
+func TestSlowLogNilSafety(t *testing.T) {
+	var l *SlowLog
+	if l.ShouldLog(time.Hour) {
+		t.Error("nil log qualified a query")
+	}
+	l.Record(SlowEntry{Endpoint: "query"})
+	if l.Written() != 0 || l.Threshold() != 0 {
+		t.Error("nil log accessors not zero")
+	}
+}
+
+// TestSlowLogConcurrent: concurrent Records interleave as whole lines
+// (run under -race).
+func TestSlowLogConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 0, 1)
+	var wg sync.WaitGroup
+	const n = 50
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if l.ShouldLog(time.Millisecond) {
+					l.Record(SlowEntry{Endpoint: "query", Outcome: "ok"})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var e SlowEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines, err)
+		}
+		lines++
+	}
+	if int64(lines) != l.Written() {
+		t.Errorf("%d lines written, Written() = %d", lines, l.Written())
+	}
+}

@@ -3,6 +3,8 @@ package plan
 import (
 	"fmt"
 	"strings"
+
+	"bcq/internal/obs"
 )
 
 // StepAccess is the actual data access of one plan operation: index
@@ -42,6 +44,10 @@ type ExplainOptions struct {
 	// per-step Skipped counts.
 	Limit   int
 	Limited bool
+	// Trace, when non-nil, appends the execution's span tree (per-wave,
+	// per-step and per-shard timings) after the plan — what a traced run
+	// (engine.Prepared.ExecTrace, bqrun -trace) renders.
+	Trace *obs.Trace
 }
 
 // Explain renders the plan in a human-readable form, one operation per
@@ -142,6 +148,9 @@ func (p *Plan) ExplainOpts(opts ExplainOptions) string {
 		if skipped > 0 {
 			fmt.Fprintf(&b, "  saved by early termination: ≥ %d probes never issued\n", skipped)
 		}
+	}
+	if opts.Trace != nil {
+		b.WriteString(opts.Trace.Tree())
 	}
 	return b.String()
 }

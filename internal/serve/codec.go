@@ -29,6 +29,10 @@ type queryRequest struct {
 	// each page invalidates its token and returns a fresh one. When set,
 	// Query and Args must be absent (the cursor carries the whole scan).
 	Cursor string `json:"cursor"`
+	// Debug asks for the diagnostics block in the response: the executed
+	// plan (estimates and actuals) and, with tracing active, the span
+	// tree. Debug requests always run traced.
+	Debug bool `json:"debug"`
 }
 
 // ingestRequest is the POST /ingest body.

@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bcq/internal/engine"
 	"bcq/internal/exec"
+	"bcq/internal/obs"
 )
 
 // cursorState is one open pagination stream: the pull-based answer
@@ -26,6 +28,11 @@ type cursorState struct {
 	// request that opened the cursor, overridable per continuation.
 	pageSize int
 	expires  time.Time
+	// prep is the prepared query the scan executes (slow-log accounting
+	// on later pages); trace is the opening request's trace, which the
+	// stream keeps appending wave spans to (nil when untraced).
+	prep  *engine.Prepared
+	trace *obs.Trace
 }
 
 // cursorRegistry stores open cursors under opaque single-use tokens.
@@ -80,6 +87,7 @@ func (c *cursorRegistry) put(st *cursorState) (string, error) {
 	defer c.mu.Unlock()
 	for tok, e := range c.entries {
 		if now.After(e.expires) {
+			e.stream.Close()
 			delete(c.entries, tok)
 			c.expired.Add(1)
 		}
@@ -87,7 +95,8 @@ func (c *cursorRegistry) put(st *cursorState) (string, error) {
 	for len(c.entries) >= c.cap && len(c.order) > 0 {
 		victim := c.order[0]
 		c.order = c.order[1:]
-		if _, ok := c.entries[victim]; ok {
+		if e, ok := c.entries[victim]; ok {
+			e.stream.Close()
 			delete(c.entries, victim)
 			c.evicted.Add(1)
 		}
@@ -109,6 +118,7 @@ func (c *cursorRegistry) claim(token string) *cursorState {
 	}
 	delete(c.entries, token)
 	if time.Now().After(st.expires) {
+		st.stream.Close()
 		c.expired.Add(1)
 		return nil
 	}

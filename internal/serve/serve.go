@@ -45,6 +45,7 @@ import (
 	"bcq/internal/engine"
 	"bcq/internal/exec"
 	"bcq/internal/live"
+	"bcq/internal/obs"
 	"bcq/internal/stats"
 	"bcq/internal/storage"
 	"bcq/internal/value"
@@ -82,6 +83,12 @@ type Options struct {
 	// CursorTTL is how long an idle cursor stays claimable (0 means
 	// DefaultCursorTTL). Expired cursors answer 410 Gone.
 	CursorTTL time.Duration
+	// Obs wires the unified observability layer: a metrics registry
+	// (served at GET /metrics, fed by every endpoint) and an optional
+	// slow-query log. Share the registry with the engine
+	// (engine.Options.Metrics) and the store (live/shard Instrument) so
+	// one scrape covers the whole pipeline. Nil disables all of it.
+	Obs *obs.Observer
 }
 
 // DefaultResultCacheSize is the result-cache capacity when Options
@@ -110,6 +117,13 @@ type Server struct {
 	ingests   atomic.Int64
 	overloads atomic.Int64
 	timeouts  atomic.Int64
+
+	// obs is the observability bundle; httpSec the pre-resolved
+	// per-(endpoint, outcome) request-latency histograms and queueSec the
+	// admission queue-wait histogram (all nil when disabled — see obs.go).
+	obs      *obs.Observer
+	httpSec  map[string]*obs.Histogram
+	queueSec *obs.Histogram
 
 	// testHold, when non-nil (tests only), blocks every query execution
 	// until the channel is closed — the probe for backpressure and
@@ -140,6 +154,7 @@ func New(eng *engine.Engine, opts Options) (*Server, error) {
 		eng:      eng,
 		ingest:   opts.Ingest,
 		metrics:  opts.Metrics,
+		obs:      opts.Obs,
 		workers:  workers,
 		maxQueue: maxQueue,
 		timeout:  timeout,
@@ -154,12 +169,16 @@ func New(eng *engine.Engine, opts Options) (*Server, error) {
 	default:
 		s.cache = newResultCache(opts.ResultCacheSize)
 	}
+	s.instrument()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/prepare", s.handlePrepare)
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/query", s.instrumented("query", s.handleQuery))
+	mux.HandleFunc("/prepare", s.instrumented("prepare", s.handlePrepare))
+	mux.HandleFunc("/ingest", s.instrumented("ingest", s.handleIngest))
+	mux.HandleFunc("/stats", s.instrumented("stats", s.handleStats))
+	mux.HandleFunc("/healthz", s.instrumented("healthz", s.handleHealthz))
+	if reg := s.obs.Reg(); reg != nil {
+		mux.HandleFunc("/metrics", s.instrumented("metrics", reg.Handler().ServeHTTP))
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -195,8 +214,15 @@ func (s *Server) acquire(ctx context.Context) error {
 		s.overloads.Add(1)
 		return errOverloaded
 	}
+	var start time.Time
+	if s.queueSec != nil {
+		start = time.Now()
+	}
 	select {
 	case s.sem <- struct{}{}:
+		if s.queueSec != nil {
+			s.queueSec.Observe(time.Since(start).Seconds())
+		}
 		return nil
 	case <-ctx.Done():
 		s.waiting.Add(-1)
@@ -302,6 +328,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	start := time.Now()
 	s.queries.Add(1)
 	var req queryRequest
 	if err := decodeBody(w, r, &req); err != nil {
@@ -312,12 +339,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "limit %d: must be ≥ 0 (0 = unlimited)", req.Limit)
 		return
 	}
+	tr := s.traceFor(r, req)
+	if tr != nil {
+		w.Header().Set("X-BQ-Trace-Id", tr.ID())
+	}
 	if req.Cursor != "" {
 		if req.Query != "" || len(req.Args) > 0 {
 			apiError(w, http.StatusBadRequest, "a cursor continuation carries the whole scan; query and args must be absent")
 			return
 		}
-		s.servePage(w, r, req, nil)
+		s.servePage(w, r, req, nil, tr, start)
 		return
 	}
 	if req.Query == "" {
@@ -330,11 +361,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Limit > 0 {
-		s.servePage(w, r, req, args)
+		s.servePage(w, r, req, args, tr, start)
 		return
 	}
 	s.runOnWorker(w, r, req.TimeoutMS, func() handlerResult {
-		return s.execQuery(req.Query, args)
+		return s.execQuery(req, args, tr, start)
 	})
 }
 
@@ -345,11 +376,31 @@ type queryEnvelope struct {
 	Result json.RawMessage `json:"result"`
 	Cached bool            `json:"cached"`
 	Epoch  string          `json:"epoch"`
+	// TraceID identifies a traced request (minted, or adopted from the
+	// X-BQ-Trace-Id header); Debug carries the rendered plan and span
+	// tree when the request asked for them.
+	TraceID string        `json:"trace_id,omitempty"`
+	Debug   *debugPayload `json:"debug,omitempty"`
+}
+
+// debugPayload is the opt-in diagnostics block of a /query response.
+type debugPayload struct {
+	// Explain is the executed plan with estimates, actuals and — when
+	// traced — the span tree, in plan.Explain's text form.
+	Explain string `json:"explain"`
+	// Spans is the span tree in machine-readable form (Trace.JSON).
+	Spans json.RawMessage `json:"spans,omitempty"`
 }
 
 // execQuery is the cache-or-execute core of /query.
-func (s *Server) execQuery(text string, args []value.Value) handlerResult {
-	p, err := s.eng.Prepare(text)
+func (s *Server) execQuery(req queryRequest, args []value.Value, tr *obs.Trace, start time.Time) handlerResult {
+	var p *engine.Prepared
+	var err error
+	if tr != nil {
+		p, err = s.eng.PrepareTraced(req.Query, tr)
+	} else {
+		p, err = s.eng.Prepare(req.Query)
+	}
 	if err != nil {
 		return errResult(http.StatusBadRequest, "%v", err)
 	}
@@ -362,10 +413,21 @@ func (s *Server) execQuery(text string, args []value.Value) handlerResult {
 	if s.cache != nil && epoch != "" {
 		key = cacheKey(p, args, epoch)
 		if body, ok := s.cache.get(key); ok {
-			return handlerResult{status: http.StatusOK, v: queryEnvelope{Result: body, Cached: true, Epoch: epoch}}
+			tr.Root().Tag("result_cache", "hit")
+			tr.Finish()
+			env := queryEnvelope{Result: body, Cached: true, Epoch: epoch, TraceID: tr.ID()}
+			if req.Debug {
+				env.Debug = &debugPayload{Explain: p.Explain(nil), Spans: tr.JSON()}
+			}
+			return handlerResult{status: http.StatusOK, v: env}
 		}
 	}
-	res, err := p.ExecOn(view, args...)
+	var res *exec.Result
+	if tr != nil {
+		res, err = p.ExecTraceOn(view, tr, args...)
+	} else {
+		res, err = p.ExecOn(view, args...)
+	}
 	if err != nil {
 		return errResult(http.StatusBadRequest, "%v", err)
 	}
@@ -376,7 +438,13 @@ func (s *Server) execQuery(text string, args []value.Value) handlerResult {
 	if key != "" {
 		s.cache.put(key, body)
 	}
-	return handlerResult{status: http.StatusOK, v: queryEnvelope{Result: body, Epoch: epoch}}
+	tr.Finish()
+	s.maybeSlowLog("query", p, res, tr, time.Since(start), len(res.Tuples))
+	env := queryEnvelope{Result: body, Epoch: epoch, TraceID: tr.ID()}
+	if req.Debug {
+		env.Debug = &debugPayload{Explain: p.Explain(res), Spans: tr.JSON()}
+	}
+	return handlerResult{status: http.StatusOK, v: env}
 }
 
 // pageFlushEvery is how many streamed tuples are written between
@@ -389,7 +457,7 @@ const pageFlushEvery = 64
 // worker slot like any execution, but runs on the handler goroutine —
 // the bytes go straight to the client, chunked, so the deadline is
 // enforced between tuples rather than by abandoning the worker.
-func (s *Server) servePage(w http.ResponseWriter, r *http.Request, req queryRequest, args []value.Value) {
+func (s *Server) servePage(w http.ResponseWriter, r *http.Request, req queryRequest, args []value.Value, tr *obs.Trace, start time.Time) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
@@ -416,15 +484,23 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, req queryRequ
 			st.pageSize = int(req.Limit)
 		}
 	} else {
-		p, err := s.eng.Prepare(req.Query)
+		var p *engine.Prepared
+		var err error
+		if tr != nil {
+			p, err = s.eng.PrepareTraced(req.Query, tr)
+		} else {
+			p, err = s.eng.Prepare(req.Query)
+		}
 		if err != nil {
 			apiError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		// Pin the view now; the cursor holds it for the scan's lifetime,
-		// so every later page reads this exact snapshot.
+		// so every later page reads this exact snapshot. The trace (when
+		// the request is traced) rides on the stream: later pages' waves
+		// append to the same span tree, bounded by the trace's span cap.
 		view := s.eng.View()
-		stream, err := p.ExecStreamOn(view, exec.StreamOptions{}, args...)
+		stream, err := p.ExecStreamOn(view, exec.StreamOptions{Trace: tr}, args...)
 		if err != nil {
 			apiError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -435,16 +511,18 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, req queryRequ
 			epoch:       epochKeyOf(view),
 			fingerprint: p.Query().String(),
 			pageSize:    int(req.Limit),
+			prep:        p,
+			trace:       tr,
 		}
 	}
-	s.writePage(ctx, w, st)
+	s.writePage(ctx, w, st, start)
 }
 
 // writePage streams one page of answers and a trailer with statistics
 // and the continuation cursor, all one JSON document. The result field
 // matches the buffered path's shape; stats are cumulative over the
 // cursor's whole scan so the final page reports the full bounded fetch.
-func (s *Server) writePage(ctx context.Context, w http.ResponseWriter, st *cursorState) {
+func (s *Server) writePage(ctx context.Context, w http.ResponseWriter, st *cursorState, start time.Time) {
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -513,6 +591,14 @@ func (s *Server) writePage(ctx context.Context, w http.ResponseWriter, st *curso
 	})
 	fmt.Fprintf(w, `],"stats":%s,"dq_size":%d},"cached":false,"epoch":%s,"next_cursor":%s,"complete":%v`,
 		trailer, res.DQSize, jsonString(st.epoch), jsonString(next), complete)
+	if id := st.trace.ID(); id != "" {
+		fmt.Fprintf(w, `,"trace_id":%s`, jsonString(id))
+	}
+	if st.prep != nil {
+		// Page durations qualify for the slow log like buffered answers;
+		// the entry's stats are cumulative over the cursor's whole scan.
+		s.maybeSlowLog("query", st.prep, res, st.trace, time.Since(start), n)
+	}
 	if streamErr != nil {
 		fmt.Fprintf(w, `,"error":%s`, jsonString(streamErr.Error()))
 	} else if timedOut {
@@ -626,7 +712,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStats answers GET /stats.
+// handleStats answers GET /stats. Every counter read here is an atomic
+// load (server atomics, cursor registry atomics, engine Stats, storage
+// Stats) or taken under the owning mutex (cursor count, cache entries):
+// a scrape concurrent with serving sees no torn values, which the -race
+// scrape-under-churn test exercises.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		apiError(w, http.StatusMethodNotAllowed, "GET required")
@@ -695,13 +785,31 @@ type statsResponse struct {
 	Cardinality *stats.Snapshot          `json:"cardinality,omitempty"`
 }
 
-// handleHealthz answers GET /healthz. The epoch comes from the display
-// accessor — no view pin, so probers never contend with writers.
+// handleHealthz answers GET /healthz with a readiness payload: the
+// current epoch key, the store's shard count, and the worker pool's
+// saturation (in-flight over the admission bound — 1.0 means the next
+// request is rejected 503). Everything comes from display accessors and
+// atomics — no view pin, no lock, so probers never contend with writers
+// or serving traffic.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inFlight := s.waiting.Load()
 	writeJSON(w, http.StatusOK, struct {
-		OK    bool   `json:"ok"`
-		Epoch string `json:"epoch"`
-	}{OK: true, Epoch: s.eng.EpochKey()})
+		OK         bool    `json:"ok"`
+		Epoch      string  `json:"epoch"`
+		Shards     int     `json:"shards"`
+		Workers    int     `json:"workers"`
+		MaxQueue   int     `json:"max_queue"`
+		InFlight   int64   `json:"in_flight"`
+		Saturation float64 `json:"saturation"`
+	}{
+		OK:         true,
+		Epoch:      s.eng.EpochKey(),
+		Shards:     s.eng.Shards(),
+		Workers:    s.workers,
+		MaxQueue:   s.maxQueue,
+		InFlight:   inFlight,
+		Saturation: float64(inFlight) / float64(s.workers+s.maxQueue),
+	})
 }
 
 // maxBodyBytes bounds a request body: large enough for bulk ingest

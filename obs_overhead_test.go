@@ -1,0 +1,189 @@
+// Overhead guardrail for the observability layer: the same workload runs
+// on two engines over the same data — one bare, one with a full metrics
+// registry, traced prepares and slow-log-armed execution paths disabled
+// only by nil checks — and the enabled median must stay within 5% of the
+// bare one. That budget is the package contract internal/obs documents;
+// this test is the thing that keeps it honest.
+//
+//	go test -run TestObsOverhead -v
+//	go test -bench BenchmarkObsOverhead -benchmem
+//
+// With OBS_BENCH_JSON set, the measurements are written there
+// (BENCH_obs.json in CI) so the overhead trajectory records.
+package bcq
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"bcq/internal/obs"
+)
+
+// obsScene builds the fan-out scene on an engine with or without a
+// metrics registry. The query fans 200 groups × 20 rows, so one
+// execution issues hundreds of probes — enough work that per-probe
+// instrumentation cost would show, not vanish in noise.
+func obsScene(tb testing.TB, reg *obs.Registry) *Prepared {
+	tb.Helper()
+	cat, acc, err := ParseDDL(streamBenchDDL)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	db := NewDatabase(cat)
+	for s := 0; s < 200; s++ {
+		for d := 0; d < 20; d++ {
+			if err := db.Insert("edge", Tuple{Int(int64(s)), Int(int64(d))}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	eng, err := NewEngine(cat, acc, db, EngineOptions{Metrics: reg})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	q, err := ParseQuery(streamBenchQuery, cat)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prep, err := eng.PrepareQuery(q)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return prep
+}
+
+// medianExecNS times reps executions and returns the median wall time of
+// one execution in nanoseconds.
+func medianExecNS(tb testing.TB, prep *Prepared, reps int) float64 {
+	tb.Helper()
+	times := make([]float64, reps)
+	for i := range times {
+		start := time.Now()
+		res, err := prep.Exec()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if len(res.Tuples) != 200*20 {
+			tb.Fatalf("answer size %d, want %d", len(res.Tuples), 200*20)
+		}
+		times[i] = float64(time.Since(start).Nanoseconds())
+	}
+	sort.Float64s(times)
+	return times[len(times)/2]
+}
+
+// TestObsOverhead is the guardrail: with a registry registered on the
+// engine (every executor counter, histogram and shard-probe handle
+// live), the median execution must stay within 5% of the uninstrumented
+// engine. Medians over interleaved sample rounds absorb scheduler noise;
+// a second, larger round confirms before failing.
+func TestObsOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guardrail; skipped in -short")
+	}
+	bare := obsScene(t, nil)
+	instr := obsScene(t, obs.NewRegistry())
+
+	measure := func(reps int) (bareNS, instrNS float64) {
+		const rounds = 5
+		bs := make([]float64, 0, rounds)
+		is := make([]float64, 0, rounds)
+		for r := 0; r < rounds; r++ { // interleave so drift hits both alike
+			bs = append(bs, medianExecNS(t, bare, reps))
+			is = append(is, medianExecNS(t, instr, reps))
+		}
+		sort.Float64s(bs)
+		sort.Float64s(is)
+		return bs[rounds/2], is[rounds/2]
+	}
+
+	bareNS, instrNS := measure(20)
+	overhead := instrNS/bareNS - 1
+	if overhead > 0.05 {
+		// One confirmation round with more samples before declaring a
+		// regression — CI machines are noisy at microsecond scales.
+		bareNS, instrNS = measure(60)
+		overhead = instrNS/bareNS - 1
+	}
+	t.Logf("bare %.0fns, instrumented %.0fns: overhead %+.2f%%", bareNS, instrNS, overhead*100)
+	if overhead > 0.05 {
+		t.Errorf("instrumented execution is %.2f%% slower than bare (budget 5%%)", overhead*100)
+	}
+
+	if path := os.Getenv("OBS_BENCH_JSON"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			BareNS      float64 `json:"bare_ns"`
+			InstrNS     float64 `json:"instrumented_ns"`
+			OverheadPct float64 `json:"overhead_pct"`
+			BudgetPct   float64 `json:"budget_pct"`
+		}{bareNS, instrNS, overhead * 100, 5}); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// BenchmarkObsOverhead is the same comparison as a benchmark pair for
+// interactive use: -bench BenchmarkObsOverhead prints both modes side by
+// side.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		reg  *obs.Registry
+	}{
+		{"disabled", nil},
+		{"enabled", obs.NewRegistry()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			prep := obsScene(b, mode.reg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Exec(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObsInstruments pins the per-call cost of the primitives the
+// hot paths lean on: counter increments, histogram observations and the
+// disabled-mode nil-check.
+func BenchmarkObsInstruments(b *testing.B) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("bench_total", "")
+	hist := reg.Histogram("bench_seconds", "", obs.LatencyBuckets)
+	var nilCtr *obs.Counter
+	var nilHist *obs.Histogram
+	b.Run("counter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctr.Inc()
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist.Observe(0.0042)
+		}
+	})
+	b.Run("counter-nil", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nilCtr.Inc()
+		}
+	})
+	b.Run("histogram-nil", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nilHist.Observe(0.0042)
+		}
+	})
+}
