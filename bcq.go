@@ -474,6 +474,30 @@ type (
 	TraceSpan = obs.Span
 	// SlowQueryLog records sampled slow queries as JSON lines.
 	SlowQueryLog = obs.SlowLog
+	// TimeSeries retains windowed metric history — counter rates, gauge
+	// readings, delta-window histogram quantiles — in fixed-size rings
+	// (GET /debug/timeseries).
+	TimeSeries = obs.TimeSeries
+	// TimeSeriesOptions tunes the sampler's interval, window and series cap.
+	TimeSeriesOptions = obs.TimeSeriesOptions
+	// TraceRecorder tail-samples span trees: complete traces are retained
+	// only for slow, errored or outlier-vs-rolling-p99 queries
+	// (GET /debug/traces/{id}).
+	TraceRecorder = obs.TraceRecorder
+	// TraceRecorderOptions tunes the recorder's capacity and retention
+	// criteria.
+	TraceRecorderOptions = obs.TraceRecorderOptions
+	// RetainedTrace is one trace the recorder kept: metadata, retention
+	// reasons and the span tree.
+	RetainedTrace = obs.RetainedTrace
+	// SLOMonitor evaluates latency and error SLOs over short and long
+	// burn-rate windows; its verdict folds into GET /healthz.
+	SLOMonitor = obs.SLO
+	// SLOOptions declares the SLO thresholds, budgets and windows.
+	SLOOptions = obs.SLOOptions
+	// SLOVerdict is one burn-rate evaluation: degraded or not, with both
+	// windows' rates per SLO.
+	SLOVerdict = obs.SLOVerdict
 )
 
 // NewMetricsRegistry builds an empty metrics registry.
@@ -489,6 +513,32 @@ func NewTrace(id, rootName string) *Trace { return obs.NewTrace(id, rootName) }
 func NewSlowQueryLog(w io.Writer, threshold time.Duration, sampleN int) *SlowQueryLog {
 	return obs.NewSlowLog(w, threshold, sampleN)
 }
+
+// NewSlowQueryLogFile builds a slow-query log appending to path,
+// rotating by rename-and-truncate (path → path+".1") when the file
+// would exceed maxBytes (0 = never rotate), so on-disk size stays
+// bounded at roughly 2× maxBytes.
+func NewSlowQueryLogFile(path string, threshold time.Duration, sampleN int, maxBytes int64) (*SlowQueryLog, error) {
+	return obs.NewSlowLogFile(path, threshold, sampleN, maxBytes)
+}
+
+// NewTimeSeries builds a metric-history sampler over a registry; Start
+// launches its ticker, Stop ends it.
+func NewTimeSeries(reg *MetricsRegistry, opts TimeSeriesOptions) *TimeSeries {
+	return obs.NewTimeSeries(reg, opts)
+}
+
+// NewTraceRecorder builds a tail-sampling trace ring. Wire it into
+// EngineOptions.Recorder (feeds the rolling p99) and Observer.Traces
+// (serves /debug/traces).
+func NewTraceRecorder(opts TraceRecorderOptions) *TraceRecorder {
+	return obs.NewTraceRecorder(opts)
+}
+
+// NewSLOMonitor builds a burn-rate monitor. Wire it into
+// Observer.SLO so the serving layer records work-endpoint requests and
+// /healthz carries the verdict.
+func NewSLOMonitor(opts SLOOptions) *SLOMonitor { return obs.NewSLO(opts) }
 
 // BaselineResult is a full-data evaluation answer.
 type BaselineResult = baseline.Result

@@ -17,6 +17,11 @@
 // exist, the report shows the probes the limit saved, and the limited
 // answers are cross-checked as a subset of the full answer.
 //
+// The -trace-out FILE flag runs every query traced and appends each
+// span tree as one machine-readable JSON line ({"trace_id", "root"}) —
+// the same rendering the serving layer retains at /debug/traces/{id} —
+// so offline runs feed the same tooling as production traces.
+//
 // Datasets: social (Example 1), tfacc, mot, tpch. The -parallel flag fans
 // each plan step's index probes over that many workers; answers are
 // byte-identical to a sequential run.
@@ -40,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -64,6 +70,7 @@ func main() {
 	limit := flag.Int("limit", 0, "early termination: stop each query after N answers (0 = all), reporting the probes saved")
 	explain := flag.Bool("explain", false, "print each query's cost-based plan with estimated and actual per-step fetches")
 	trace := flag.Bool("trace", false, "run each query traced and print its span tree (prepare → waves → fetch/verify → shards)")
+	traceOut := flag.String("trace-out", "", "write each query's span tree as one JSON line to this file (implies tracing)")
 	verbose := flag.Bool("v", false, "print per-relation access breakdown and per-shard balance")
 	flag.Parse()
 
@@ -79,6 +86,7 @@ func main() {
 		limit:    *limit,
 		explain:  *explain,
 		trace:    *trace,
+		traceOut: *traceOut,
 		verbose:  *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bqrun:", err)
@@ -99,7 +107,11 @@ type config struct {
 	limit    int
 	explain  bool
 	trace    bool
+	traceOut string
 	verbose  bool
+
+	// traceW is the open -trace-out sink (set by run, not a flag).
+	traceW io.Writer
 }
 
 // validate rejects flag values whose behavior would otherwise be
@@ -120,6 +132,9 @@ func (c config) validate() error {
 	}
 	if c.limit > 0 && (c.shards > 1 || c.ingest > 0) {
 		return fmt.Errorf("-limit combines only with the static single-store mode (drop -shards/-ingest)")
+	}
+	if c.traceOut != "" && (c.shards > 1 || c.ingest > 0) {
+		return fmt.Errorf("-trace-out combines only with the static single-store mode (drop -shards/-ingest)")
 	}
 	if c.scale <= 0 {
 		return fmt.Errorf("-scale %g: scale factor must be > 0", c.scale)
@@ -157,6 +172,15 @@ func run(c config) error {
 		return err
 	}
 	fmt.Printf("built |D| = %d tuples in %v\n\n", db.NumTuples(), time.Since(start).Round(time.Millisecond))
+
+	if c.traceOut != "" {
+		f, err := os.Create(c.traceOut)
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		defer f.Close()
+		c.traceW = f
+	}
 
 	var queries []*bcq.Query
 	switch {
@@ -587,10 +611,11 @@ func driveIngest(eng *engine.Engine, tgt ingestTarget, queries []*bcq.Query, n i
 
 func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, c config) error {
 	fmt.Printf("== %s\n   %s\n", q.Name, q)
-	// -trace threads one trace through prepare and execution; the span
-	// tree (prepare → waves → fetch/verify → shards) prints after the run.
+	// -trace (and -trace-out) threads one trace through prepare and
+	// execution; the span tree (prepare → waves → fetch/verify → shards)
+	// prints after the run, and -trace-out appends it as one JSON line.
 	var tr *bcq.Trace
-	if c.trace {
+	if c.trace || c.traceW != nil {
 		tr = bcq.NewTrace("", q.Name)
 	}
 	prep, err := eng.PrepareQueryTraced(q, tr)
@@ -612,12 +637,17 @@ func runOne(ds *datagen.Dataset, eng *engine.Engine, q *bcq.Query, c config) err
 	}
 	evalTime := time.Since(start)
 	tr.Finish()
+	if c.traceW != nil {
+		if _, err := fmt.Fprintf(c.traceW, "%s\n", tr.JSON()); err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+	}
 	fmt.Printf("   evalDQ:   %5d answers in %8v — fetched %d tuples (|D_Q| = %d, bound %s)\n",
 		len(res.Tuples), evalTime.Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, prep.FetchBound())
 	if c.explain {
 		// Explain renders the span tree itself when the result is traced.
 		fmt.Print(indentBlock(prep.Explain(res)))
-	} else if tr != nil {
+	} else if c.trace && tr != nil {
 		fmt.Print(indentBlock(tr.Tree()))
 	}
 	if c.limit > 0 {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func cfg(mut func(*config)) config {
 	c := config{
@@ -65,6 +71,42 @@ func TestRunWorkloadSharded(t *testing.T) {
 	}
 }
 
+// TestRunTraceOut: -trace-out writes one machine-readable span tree per
+// query — valid JSON with a root span whose name is the query's.
+func TestRunTraceOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "traces.jsonl")
+	if err := run(cfg(func(c *config) { c.traceOut = out })); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var tr struct {
+			TraceID string `json:"trace_id"`
+			Root    struct {
+				Name     string          `json:"name"`
+				Children json.RawMessage `json:"children"`
+			} `json:"root"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("trace line %d undecodable: %v: %s", lines, err, sc.Text())
+		}
+		if tr.TraceID == "" || tr.Root.Name == "" {
+			t.Errorf("trace line %d missing trace_id or root span name: %s", lines, sc.Text())
+		}
+	}
+	if lines != 1 {
+		t.Errorf("one query wrote %d trace lines, want 1", lines)
+	}
+}
+
 func TestRunBadInputs(t *testing.T) {
 	if err := run(config{dataset: "nope", scale: 1, workload: true, parallel: 1, shards: 1}); err == nil {
 		t.Error("unknown dataset accepted")
@@ -88,6 +130,8 @@ func TestFlagValidation(t *testing.T) {
 		{"shards=0", func(c *config) { c.shards = 0 }},
 		{"shards=-3", func(c *config) { c.shards = -3 }},
 		{"scale=0", func(c *config) { c.scale = 0 }},
+		{"trace-out+shards", func(c *config) { c.traceOut = "t.jsonl"; c.shards = 2 }},
+		{"trace-out+ingest", func(c *config) { c.traceOut = "t.jsonl"; c.ingest = 10 }},
 	}
 	for _, tc := range cases {
 		if err := run(cfg(tc.mut)); err == nil {

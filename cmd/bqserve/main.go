@@ -47,8 +47,19 @@
 // -pprof-addr serves net/http/pprof on a separate listener so profiling
 // never shares the query port.
 //
+// A retention tier sits on top: with -metrics the server also samples
+// the registry on a ticker and serves windowed metric history at GET
+// /debug/timeseries (-timeseries-interval, -timeseries-window);
+// -trace-retention N keeps the complete span trees of up to N
+// slow/errored/outlier queries, addressable at GET /debug/traces/{id}
+// — every slow-log line's trace_id resolves there; -slo-latency arms
+// multi-window burn-rate detection (latency + error SLOs) whose
+// verdict folds into GET /healthz as "degraded". -slow-log-max-bytes
+// bounds the slow-log file with rename-and-truncate rotation.
+//
 //	bqserve -dataset social -metrics \
-//	  -slow-query-log slow.jsonl -slow-threshold 50ms \
+//	  -slow-query-log slow.jsonl -slow-threshold 50ms -slow-log-max-bytes 10485760 \
+//	  -trace-retention 256 -slo-latency 250ms \
 //	  -pprof-addr localhost:6060
 package main
 
@@ -84,24 +95,44 @@ func main() {
 	slowLog := flag.String("slow-query-log", "", "append sampled slow queries as JSON lines to this file (- for stderr)")
 	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "queries at least this slow are slow-log candidates")
 	slowSample := flag.Int("slow-sample", 1, "log every Nth slow-log candidate")
+	slowLogMaxBytes := flag.Int64("slow-log-max-bytes", 0, "rotate the slow-query log file past this size (0 = never; keeps one .1 generation)")
+	tsInterval := flag.Duration("timeseries-interval", obs.DefaultSampleInterval, "metric-history sampling period for GET /debug/timeseries (needs -metrics)")
+	tsWindow := flag.Int("timeseries-window", obs.DefaultSampleWindow, "retained samples per metric series")
+	traceRetention := flag.Int("trace-retention", 0, "retain up to N slow/errored/outlier traces for GET /debug/traces (0 disables)")
+	sloLatency := flag.Duration("slo-latency", 0, "latency SLO threshold; burn-rate detection folds into /healthz (0 disables SLOs)")
+	sloLatencyBudget := flag.Float64("slo-latency-budget", obs.DefaultLatencyBudget, "tolerated fraction of requests over the latency threshold")
+	sloErrorBudget := flag.Float64("slo-error-budget", obs.DefaultErrorBudget, "tolerated fraction of 5xx responses")
+	sloShort := flag.Duration("slo-short", obs.DefaultShortWindow, "short burn-rate window")
+	sloLong := flag.Duration("slo-long", obs.DefaultLongWindow, "long burn-rate window (capped at 1h)")
+	sloBurn := flag.Float64("slo-burn", obs.DefaultBurnThreshold, "degraded when both windows burn at least this many times the budget")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	flag.Parse()
 
 	srv, info, err := buildServer(config{
-		dataset:       *dataset,
-		scale:         *scale,
-		shards:        *shards,
-		parallel:      *parallel,
-		workers:       *workers,
-		queue:         *queue,
-		timeout:       *timeout,
-		cacheSize:     *cacheSize,
-		cursorCap:     *cursorCap,
-		cursorTTL:     *cursorTTL,
-		metrics:       *metrics,
-		slowLog:       *slowLog,
-		slowThreshold: *slowThreshold,
-		slowSample:    *slowSample,
+		dataset:          *dataset,
+		scale:            *scale,
+		shards:           *shards,
+		parallel:         *parallel,
+		workers:          *workers,
+		queue:            *queue,
+		timeout:          *timeout,
+		cacheSize:        *cacheSize,
+		cursorCap:        *cursorCap,
+		cursorTTL:        *cursorTTL,
+		metrics:          *metrics,
+		slowLog:          *slowLog,
+		slowThreshold:    *slowThreshold,
+		slowSample:       *slowSample,
+		slowLogMaxBytes:  *slowLogMaxBytes,
+		tsInterval:       *tsInterval,
+		tsWindow:         *tsWindow,
+		traceRetention:   *traceRetention,
+		sloLatency:       *sloLatency,
+		sloLatencyBudget: *sloLatencyBudget,
+		sloErrorBudget:   *sloErrorBudget,
+		sloShort:         *sloShort,
+		sloLong:          *sloLong,
+		sloBurn:          *sloBurn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bqserve:", err)
@@ -128,20 +159,30 @@ func main() {
 
 // config carries the validated flag set.
 type config struct {
-	dataset       string
-	scale         float64
-	shards        int
-	parallel      int
-	workers       int
-	queue         int
-	timeout       time.Duration
-	cacheSize     int
-	cursorCap     int
-	cursorTTL     time.Duration
-	metrics       bool
-	slowLog       string
-	slowThreshold time.Duration
-	slowSample    int
+	dataset          string
+	scale            float64
+	shards           int
+	parallel         int
+	workers          int
+	queue            int
+	timeout          time.Duration
+	cacheSize        int
+	cursorCap        int
+	cursorTTL        time.Duration
+	metrics          bool
+	slowLog          string
+	slowThreshold    time.Duration
+	slowSample       int
+	slowLogMaxBytes  int64
+	tsInterval       time.Duration
+	tsWindow         int
+	traceRetention   int
+	sloLatency       time.Duration
+	sloLatencyBudget float64
+	sloErrorBudget   float64
+	sloShort         time.Duration
+	sloLong          time.Duration
+	sloBurn          float64
 }
 
 func (c config) validate() error {
@@ -168,6 +209,26 @@ func (c config) validate() error {
 	}
 	if c.slowSample < 0 {
 		return fmt.Errorf("-slow-sample %d: sampling rate must be ≥ 0 (0 = every candidate)", c.slowSample)
+	}
+	if c.slowLogMaxBytes < 0 {
+		return fmt.Errorf("-slow-log-max-bytes %d: rotation size must be ≥ 0 (0 = never rotate)", c.slowLogMaxBytes)
+	}
+	if c.tsInterval < 0 || c.tsWindow < 0 {
+		return fmt.Errorf("-timeseries-interval/-timeseries-window must be ≥ 0 (0 = default)")
+	}
+	if c.traceRetention < 0 {
+		return fmt.Errorf("-trace-retention %d: retained-trace capacity must be ≥ 0 (0 = disabled)", c.traceRetention)
+	}
+	if c.sloLatency < 0 {
+		return fmt.Errorf("-slo-latency %v: SLO threshold must be ≥ 0 (0 = disabled)", c.sloLatency)
+	}
+	if c.sloLatency > 0 {
+		if c.sloLatencyBudget < 0 || c.sloLatencyBudget > 1 || c.sloErrorBudget < 0 || c.sloErrorBudget > 1 {
+			return fmt.Errorf("-slo-latency-budget/-slo-error-budget must be in [0, 1]")
+		}
+		if c.sloShort < 0 || c.sloLong < 0 || c.sloBurn < 0 {
+			return fmt.Errorf("-slo-short/-slo-long/-slo-burn must be ≥ 0 (0 = default)")
+		}
 	}
 	return nil
 }
@@ -209,17 +270,38 @@ func buildServer(c config) (*serve.Server, string, error) {
 	ob := &obs.Observer{}
 	if c.metrics {
 		ob.Metrics = obs.NewRegistry()
+		ob.TimeSeries = obs.NewTimeSeries(ob.Metrics, obs.TimeSeriesOptions{
+			Interval: c.tsInterval,
+			Window:   c.tsWindow,
+		})
+		ob.TimeSeries.Start()
 	}
 	if c.slowLog != "" {
-		w := os.Stderr
-		if c.slowLog != "-" {
-			f, err := os.OpenFile(c.slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if c.slowLog == "-" {
+			ob.SlowLog = obs.NewSlowLog(os.Stderr, c.slowThreshold, c.slowSample)
+		} else {
+			sl, err := obs.NewSlowLogFile(c.slowLog, c.slowThreshold, c.slowSample, c.slowLogMaxBytes)
 			if err != nil {
 				return nil, "", fmt.Errorf("-slow-query-log: %w", err)
 			}
-			w = f
+			ob.SlowLog = sl
 		}
-		ob.SlowLog = obs.NewSlowLog(w, c.slowThreshold, c.slowSample)
+	}
+	if c.traceRetention > 0 {
+		ob.Traces = obs.NewTraceRecorder(obs.TraceRecorderOptions{
+			Capacity:      c.traceRetention,
+			SlowThreshold: c.slowThreshold,
+		})
+	}
+	if c.sloLatency > 0 {
+		ob.SLO = obs.NewSLO(obs.SLOOptions{
+			LatencyThreshold: c.sloLatency,
+			LatencyBudget:    c.sloLatencyBudget,
+			ErrorBudget:      c.sloErrorBudget,
+			ShortWindow:      c.sloShort,
+			LongWindow:       c.sloLong,
+			BurnThreshold:    c.sloBurn,
+		})
 	}
 
 	opts := serve.Options{
@@ -231,7 +313,7 @@ func buildServer(c config) (*serve.Server, string, error) {
 		CursorTTL:       c.cursorTTL,
 		Obs:             ob,
 	}
-	engOpts := engine.Options{Parallelism: c.parallel, Metrics: ob.Metrics}
+	engOpts := engine.Options{Parallelism: c.parallel, Metrics: ob.Metrics, Recorder: ob.Traces}
 
 	var (
 		eng  *engine.Engine

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,12 +59,104 @@ func TestBuildAndServeSmoke(t *testing.T) {
 	}
 }
 
+// TestSlowLogTracesResolveEndToEnd is the acceptance path for the
+// retention tier as assembled by the real buildServer: a threshold-0
+// slow log plus an armed trace recorder means every slow-log line
+// written while serving must resolve through GET /debug/traces/{id},
+// and /debug/timeseries must serve sampled history.
+func TestSlowLogTracesResolveEndToEnd(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "slow.jsonl")
+	srv, _, err := buildServer(config{
+		dataset: "social", scale: 1.0 / 32, shards: 1, parallel: 2,
+		metrics:        true,
+		slowLog:        logPath,
+		slowThreshold:  0, // every query is a slow-log candidate
+		slowSample:     1,
+		traceRetention: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	for i := 0; i < 12; i++ {
+		code, body := postJSON(t, hs.URL+"/query",
+			`{"query": "select photo_id from in_album where album_id = ?", "args": [1]}`)
+		if code != http.StatusOK {
+			t.Fatalf("/query %d: status %d: %s", i, code, body)
+		}
+	}
+
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var ids []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var entry struct {
+			TraceID string `json:"trace_id"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &entry); err != nil {
+			t.Fatalf("slow-log line undecodable: %v: %s", err, sc.Text())
+		}
+		if entry.TraceID == "" {
+			t.Fatalf("slow-log line missing trace_id: %s", sc.Text())
+		}
+		ids = append(ids, entry.TraceID)
+	}
+	if len(ids) == 0 {
+		t.Fatal("threshold-0 slow log wrote no entries")
+	}
+	for _, id := range ids {
+		resp, err := http.Get(hs.URL + "/debug/traces/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rt struct {
+			TraceID string          `json:"trace_id"`
+			Reasons []string        `json:"reasons"`
+			Spans   json.RawMessage `json:"spans"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rt)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("slow-logged trace %s did not resolve: status %d", id, resp.StatusCode)
+		}
+		if err != nil || rt.TraceID != id || len(rt.Spans) == 0 {
+			t.Fatalf("trace %s: bad payload (err %v, id %q, %d span bytes)", id, err, rt.TraceID, len(rt.Spans))
+		}
+	}
+
+	resp, err := http.Get(hs.URL + "/debug/timeseries?last=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/timeseries: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		IntervalMS int64 `json:"interval_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || doc.IntervalMS <= 0 {
+		t.Fatalf("/debug/timeseries payload bad (err %v, interval %d)", err, doc.IntervalMS)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	bad := []config{
 		{dataset: "social", scale: 0},
 		{dataset: "social", scale: 1, shards: 0},
 		{dataset: "social", scale: 1, shards: 1, parallel: 0},
 		{dataset: "nope", scale: 1, shards: 1, parallel: 1},
+		{dataset: "social", scale: 1, shards: 1, parallel: 1, slowLogMaxBytes: -1},
+		{dataset: "social", scale: 1, shards: 1, parallel: 1, traceRetention: -1},
+		{dataset: "social", scale: 1, shards: 1, parallel: 1, sloLatency: -1},
+		{dataset: "social", scale: 1, shards: 1, parallel: 1, sloLatency: 1, sloLatencyBudget: 2},
 	}
 	for _, c := range bad {
 		if _, _, err := buildServer(c); err == nil {

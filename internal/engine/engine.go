@@ -128,6 +128,11 @@ type Options struct {
 	// first one's closures for both. Nil disables instrumentation at the
 	// cost of one nil check per site.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, receives every execution's latency — the
+	// feed behind the tail-sampling recorder's rolling p99, so its
+	// outlier bar reflects all executions, not just the ones a serving
+	// layer happened to retain. Nil costs one nil check per execution.
+	Recorder *obs.TraceRecorder
 }
 
 // DefaultPlanCacheSize is the plan-cache capacity when Options leaves it
@@ -192,6 +197,7 @@ type Engine struct {
 	// injected into every Run/Stream the engine starts.
 	metrics     *obs.Registry
 	execMetrics *obs.ExecMetrics
+	recorder    *obs.TraceRecorder
 	prepHit     *obs.Histogram
 	prepMiss    *obs.Histogram
 	prepErr     *obs.Histogram
@@ -278,6 +284,7 @@ func assemble(cat *schema.Catalog, db *storage.Database, src Source, opts Option
 		errs:   lru.New[*cacheEntry](size),
 		flight: make(map[string]*inflight),
 	}
+	e.recorder = opts.Recorder
 	e.instrument(opts.Metrics)
 	return e
 }

@@ -8,6 +8,7 @@ import (
 	"bcq/internal/core"
 	"bcq/internal/datagen"
 	"bcq/internal/exec"
+	"bcq/internal/obs"
 	"bcq/internal/plan"
 	"bcq/internal/spc"
 	"bcq/internal/storage"
@@ -350,5 +351,30 @@ func TestEngineRejectsMismatchedSchema(t *testing.T) {
 	}
 	if _, err := New(nil, ds.Access, db, Options{}); err == nil {
 		t.Error("nil catalog accepted")
+	}
+}
+
+// TestRecorderLatencyFeed: a wired trace recorder receives one latency
+// observation per buffered execution (plain and limited), arming the
+// rolling-p99 outlier baseline.
+func TestRecorderLatencyFeed(t *testing.T) {
+	rec := obs.NewTraceRecorder(obs.TraceRecorderOptions{Capacity: 8})
+	_, _, e := socialEngine(t, Options{Recorder: rec})
+
+	p, err := e.Prepare(socialQ0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 600 // past the recorder's rotation interval
+	for i := 0; i < runs; i++ {
+		if _, err := p.Exec(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.ExecLimit(1); err != nil {
+		t.Fatal(err)
+	}
+	if p99 := rec.RollingP99(); p99 <= 0 {
+		t.Fatalf("rolling p99 not armed after %d executions", runs+1)
 	}
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"bcq/internal/core"
 	"bcq/internal/deduce"
@@ -219,6 +220,8 @@ func (p *Prepared) ExecTraceOn(st exec.Store, tr *obs.Trace, args ...value.Value
 // execOn is the shared buffered execution path: bind, then drain an
 // unbatched stream carrying the engine's executor metrics (and the
 // caller's trace, if any) — byte-identical to the classic evalDQ run.
+// Each drain's wall time feeds the tail-sampling recorder's rolling-p99
+// window when one is wired (Options.Recorder).
 func (p *Prepared) execOn(st exec.Store, tr *obs.Trace, args []value.Value) (*exec.Result, error) {
 	p.eng.execs.Add(1)
 	pl, ok, err := p.bind(args)
@@ -231,7 +234,16 @@ func (p *Prepared) execOn(st exec.Store, tr *obs.Trace, args []value.Value) (*ex
 		return res, nil
 	}
 	opts := exec.StreamOptions{BatchSize: exec.Unbatched, Trace: tr, Metrics: p.eng.execMetrics}
-	return p.eng.exe.Stream(pl, st, opts).Drain()
+	rec := p.eng.recorder
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
+	res, err := p.eng.exe.Stream(pl, st, opts).Drain()
+	if rec != nil && err == nil {
+		rec.ObserveLatency(time.Since(start))
+	}
+	return res, err
 }
 
 // ExecStream opens a pull-based answer stream for the prepared plan with
@@ -277,9 +289,17 @@ func (p *Prepared) ExecLimitOn(st exec.Store, limit int, args ...value.Value) (*
 	if err != nil {
 		return nil, err
 	}
+	rec := p.eng.recorder
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
 	res, err := s.Drain()
 	if err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		rec.ObserveLatency(time.Since(start))
 	}
 	res.Limit = limit
 	return res, nil

@@ -283,26 +283,40 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	return QuantileFromCounts(h.bounds, h.BucketCounts(), q)
+}
+
+// QuantileFromCounts is Quantile over an explicit bucket layout: counts
+// holds one entry per bound plus the +Inf bucket. It is how delta-window
+// quantiles are extracted — subtract two cumulative snapshots of one
+// histogram's BucketCounts and ask for the quantile of the difference —
+// and how several same-layout histograms merge (sum their counts first).
+func QuantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
+	if len(bounds) == 0 || len(counts) != len(bounds)+1 {
+		return 0
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
 	if total == 0 {
 		return 0
 	}
 	rank := q * float64(total)
 	var cum int64
-	for i := range h.counts {
-		n := h.counts[i].Load()
+	for i, n := range counts {
 		if n == 0 {
 			continue
 		}
 		if float64(cum+n) >= rank {
-			if i >= len(h.bounds) { // +Inf bucket
-				return h.bounds[len(h.bounds)-1]
+			if i >= len(bounds) { // +Inf bucket
+				return bounds[len(bounds)-1]
 			}
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
-			hi := h.bounds[i]
+			hi := bounds[i]
 			frac := (rank - float64(cum)) / float64(n)
 			if frac < 0 {
 				frac = 0
@@ -313,5 +327,106 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += n
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
+}
+
+// BucketCounts returns the per-bucket observation counts (not
+// cumulative): one entry per bound plus the trailing +Inf bucket. Nil
+// histograms return nil.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Bounds returns the histogram's finite bucket upper bounds (shared by
+// every series of one family; nil on nil).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// SeriesSnapshot is one series' state at Collect time — the unit the
+// time-series sampler diffs between ticks.
+type SeriesSnapshot struct {
+	// Name and Kind identify the family ("counter", "gauge", "histogram").
+	Name string
+	Kind string
+	// Labels are the series' label pairs in declared order.
+	Labels []Label
+	// Value is the counter or gauge reading (0 for histograms).
+	Value float64
+	// Histogram state: finite bounds, per-bucket counts (len(Bounds)+1,
+	// the last being +Inf), total count and sum. Nil/0 for other kinds.
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Key renders the snapshot's identity (name plus label values) — stable
+// across Collect calls, unique within one registry.
+func (s *SeriesSnapshot) Key() string {
+	return s.Name + "\x02" + seriesKey(s.Labels)
+}
+
+// Collect reads every series of every family, in the same deterministic
+// order the text exposition uses. The bounds slice of histogram
+// snapshots aliases the family's layout (immutable); counts are copies.
+// Nil registries collect nothing.
+func (r *Registry) Collect() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var out []SeriesSnapshot
+	for _, name := range names {
+		f := fams[name]
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			snap := SeriesSnapshot{Name: f.name, Kind: string(f.kind), Labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				snap.Value = float64(s.ctr.Value())
+				if s.fn != nil {
+					snap.Value = s.fn()
+				}
+			case kindGauge:
+				snap.Value = s.gauge.Value()
+				if s.fn != nil {
+					snap.Value = s.fn()
+				}
+			case kindHistogram:
+				snap.Bounds = s.hist.bounds
+				snap.Counts = s.hist.BucketCounts()
+				snap.Count = s.hist.Count()
+				snap.Sum = s.hist.Sum()
+			}
+			out = append(out, snap)
+		}
+		f.mu.Unlock()
+	}
+	return out
 }

@@ -30,6 +30,13 @@ type Observer struct {
 	Metrics *Registry
 	// SlowLog, when non-nil, records sampled slow queries as JSON lines.
 	SlowLog *SlowLog
+	// TimeSeries, when non-nil, retains windowed metric history for
+	// /debug/timeseries.
+	TimeSeries *TimeSeries
+	// Traces, when non-nil, tail-samples span trees for /debug/traces.
+	Traces *TraceRecorder
+	// SLO, when non-nil, evaluates burn-rate health for /healthz.
+	SLO *SLO
 }
 
 // Reg returns the observer's registry, nil-safely.
@@ -46,4 +53,28 @@ func (o *Observer) Slow() *SlowLog {
 		return nil
 	}
 	return o.SlowLog
+}
+
+// Series returns the observer's time-series sampler, nil-safely.
+func (o *Observer) Series() *TimeSeries {
+	if o == nil {
+		return nil
+	}
+	return o.TimeSeries
+}
+
+// TraceRec returns the observer's trace recorder, nil-safely.
+func (o *Observer) TraceRec() *TraceRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Traces
+}
+
+// SLOMonitor returns the observer's SLO monitor, nil-safely.
+func (o *Observer) SLOMonitor() *SLO {
+	if o == nil {
+		return nil
+	}
+	return o.SLO
 }

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLOOptions configures burn-rate detection.
+type SLOOptions struct {
+	// LatencyThreshold is the latency objective: a request at least this
+	// slow burns the latency budget. 0 disables the latency SLO.
+	LatencyThreshold time.Duration
+	// LatencyBudget is the tolerated slow fraction (≤ 0 means
+	// DefaultLatencyBudget, i.e. 99% of requests under threshold).
+	LatencyBudget float64
+	// ErrorBudget is the tolerated error fraction (≤ 0 means
+	// DefaultErrorBudget, i.e. 99.9% success).
+	ErrorBudget float64
+	// ShortWindow and LongWindow are the two burn-rate horizons (≤ 0
+	// means DefaultShortWindow / DefaultLongWindow; LongWindow is capped
+	// at one hour to bound the bucket ring).
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	// BurnThreshold flags degradation when BOTH windows burn at least
+	// this many times the budget (≤ 0 means DefaultBurnThreshold). The
+	// two-window conjunction is the standard multiwindow alert shape:
+	// the long window proves the problem is real, the short window
+	// proves it is still happening.
+	BurnThreshold float64
+	// MinRequests suppresses verdicts until the long window has traffic
+	// (≤ 0 means DefaultMinRequests) — an empty server is never degraded.
+	MinRequests int64
+	// Now overrides the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+// Defaults for SLOOptions.
+const (
+	DefaultLatencyBudget = 0.01  // 99% of requests under the threshold
+	DefaultErrorBudget   = 0.001 // 99.9% success
+	DefaultBurnThreshold = 2.0
+	DefaultMinRequests   = 20
+)
+
+// Default windows for SLOOptions.
+const (
+	DefaultShortWindow = time.Minute
+	DefaultLongWindow  = 10 * time.Minute
+	maxLongWindow      = time.Hour
+)
+
+// sloBucket accumulates one second of traffic.
+type sloBucket struct {
+	sec   int64 // unix second this bucket currently represents
+	total int64
+	slow  int64
+	errs  int64
+}
+
+// BurnRates is one SLO's burn accounting over both windows. A burn rate
+// of 1.0 consumes exactly the budget; 2.0 exhausts a 30-day budget in 15
+// days; higher is worse.
+type BurnRates struct {
+	ShortBurn  float64 `json:"short_burn"`
+	LongBurn   float64 `json:"long_burn"`
+	ShortBad   int64   `json:"short_bad"`
+	ShortTotal int64   `json:"short_total"`
+	LongBad    int64   `json:"long_bad"`
+	LongTotal  int64   `json:"long_total"`
+}
+
+// SLOVerdict is the current health determination.
+type SLOVerdict struct {
+	Degraded bool       `json:"degraded"`
+	Reasons  []string   `json:"reasons,omitempty"`
+	Latency  *BurnRates `json:"latency,omitempty"`
+	Errors   *BurnRates `json:"errors,omitempty"`
+}
+
+// SLO tracks latency and error objectives over two rolling windows and
+// reports burn rates — how fast the error budget is being consumed.
+// Requests land in per-second buckets in a fixed ring sized to the long
+// window, so memory is bounded and old traffic ages out bucket by
+// bucket; a degraded verdict therefore recovers on its own once the
+// windows drain. All methods are nil-safe.
+type SLO struct {
+	latThreshold  time.Duration
+	latBudget     float64
+	errBudget     float64
+	shortWin      time.Duration
+	longWin       time.Duration
+	burnThreshold float64
+	minRequests   int64
+	now           func() time.Time
+
+	mu      sync.Mutex
+	buckets []sloBucket // ring indexed by unix-second mod len
+}
+
+// NewSLO builds a burn-rate monitor. Zero-value options get defaults;
+// LatencyThreshold 0 leaves only the error SLO active.
+func NewSLO(opts SLOOptions) *SLO {
+	if opts.LatencyBudget <= 0 {
+		opts.LatencyBudget = DefaultLatencyBudget
+	}
+	if opts.ErrorBudget <= 0 {
+		opts.ErrorBudget = DefaultErrorBudget
+	}
+	if opts.ShortWindow <= 0 {
+		opts.ShortWindow = DefaultShortWindow
+	}
+	if opts.LongWindow <= 0 {
+		opts.LongWindow = DefaultLongWindow
+	}
+	if opts.LongWindow > maxLongWindow {
+		opts.LongWindow = maxLongWindow
+	}
+	if opts.ShortWindow > opts.LongWindow {
+		opts.ShortWindow = opts.LongWindow
+	}
+	if opts.BurnThreshold <= 0 {
+		opts.BurnThreshold = DefaultBurnThreshold
+	}
+	if opts.MinRequests <= 0 {
+		opts.MinRequests = DefaultMinRequests
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	secs := int(opts.LongWindow / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return &SLO{
+		latThreshold:  opts.LatencyThreshold,
+		latBudget:     opts.LatencyBudget,
+		errBudget:     opts.ErrorBudget,
+		shortWin:      opts.ShortWindow,
+		longWin:       opts.LongWindow,
+		burnThreshold: opts.BurnThreshold,
+		minRequests:   opts.MinRequests,
+		now:           opts.Now,
+		buckets:       make([]sloBucket, secs),
+	}
+}
+
+// Record lands one finished request in the current second's bucket. An
+// errored request burns the error budget; a successful-but-slow one
+// burns the latency budget. Nil-safe.
+func (s *SLO) Record(d time.Duration, isError bool) {
+	if s == nil {
+		return
+	}
+	sec := s.now().Unix()
+	s.mu.Lock()
+	b := &s.buckets[int(sec%int64(len(s.buckets)))]
+	if b.sec != sec {
+		// The ring lapped: this slot held a second that has aged out.
+		*b = sloBucket{sec: sec}
+	}
+	b.total++
+	if isError {
+		b.errs++
+	} else if s.latThreshold > 0 && d >= s.latThreshold {
+		b.slow++
+	}
+	s.mu.Unlock()
+}
+
+// windowSums totals buckets whose second falls in (now-win, now].
+func (s *SLO) windowSums(nowSec int64, win time.Duration) (total, slow, errs int64) {
+	lo := nowSec - int64(win/time.Second)
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		if b.sec > lo && b.sec <= nowSec {
+			total += b.total
+			slow += b.slow
+			errs += b.errs
+		}
+	}
+	return
+}
+
+// burn converts bad/total into a burn rate: (bad fraction) / budget.
+// Zero traffic burns nothing.
+func burn(bad, total int64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// Verdict evaluates both SLOs right now. Degraded requires the short AND
+// long windows of the same SLO to burn at or above BurnThreshold with at
+// least MinRequests in the long window. Nil-safe (healthy verdict).
+func (s *SLO) Verdict() SLOVerdict {
+	if s == nil {
+		return SLOVerdict{}
+	}
+	nowSec := s.now().Unix()
+	s.mu.Lock()
+	sTot, sSlow, sErrs := s.windowSums(nowSec, s.shortWin)
+	lTot, lSlow, lErrs := s.windowSums(nowSec, s.longWin)
+	s.mu.Unlock()
+
+	v := SLOVerdict{
+		Errors: &BurnRates{
+			ShortBurn: burn(sErrs, sTot, s.errBudget), LongBurn: burn(lErrs, lTot, s.errBudget),
+			ShortBad: sErrs, ShortTotal: sTot, LongBad: lErrs, LongTotal: lTot,
+		},
+	}
+	if s.latThreshold > 0 {
+		v.Latency = &BurnRates{
+			ShortBurn: burn(sSlow, sTot, s.latBudget), LongBurn: burn(lSlow, lTot, s.latBudget),
+			ShortBad: sSlow, ShortTotal: sTot, LongBad: lSlow, LongTotal: lTot,
+		}
+	}
+	if lTot < s.minRequests {
+		return v
+	}
+	if v.Latency != nil && v.Latency.ShortBurn >= s.burnThreshold && v.Latency.LongBurn >= s.burnThreshold {
+		v.Degraded = true
+		v.Reasons = append(v.Reasons, fmt.Sprintf(
+			"latency burn %.1fx/%.1fx (short/long) ≥ %.1fx: p(slow ≥ %v) exceeds budget %.3f",
+			v.Latency.ShortBurn, v.Latency.LongBurn, s.burnThreshold, s.latThreshold, s.latBudget))
+	}
+	if v.Errors.ShortBurn >= s.burnThreshold && v.Errors.LongBurn >= s.burnThreshold {
+		v.Degraded = true
+		v.Reasons = append(v.Reasons, fmt.Sprintf(
+			"error burn %.1fx/%.1fx (short/long) ≥ %.1fx: error rate exceeds budget %.4f",
+			v.Errors.ShortBurn, v.Errors.LongBurn, s.burnThreshold, s.errBudget))
+	}
+	return v
+}
+
+// Instrument exports the burn rates and the degraded flag as gauges,
+// evaluated at scrape time. Nil-safe both ways.
+func (s *SLO) Instrument(reg *Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	if s.latThreshold > 0 {
+		reg.GaugeFunc("bcq_slo_burn_rate",
+			"SLO burn rate by objective and window (1.0 = exactly on budget).",
+			func() float64 { return s.Verdict().Latency.ShortBurn },
+			Label{Name: "slo", Value: "latency"}, Label{Name: "window", Value: "short"})
+		reg.GaugeFunc("bcq_slo_burn_rate",
+			"SLO burn rate by objective and window (1.0 = exactly on budget).",
+			func() float64 { return s.Verdict().Latency.LongBurn },
+			Label{Name: "slo", Value: "latency"}, Label{Name: "window", Value: "long"})
+	}
+	reg.GaugeFunc("bcq_slo_burn_rate",
+		"SLO burn rate by objective and window (1.0 = exactly on budget).",
+		func() float64 { return s.Verdict().Errors.ShortBurn },
+		Label{Name: "slo", Value: "errors"}, Label{Name: "window", Value: "short"})
+	reg.GaugeFunc("bcq_slo_burn_rate",
+		"SLO burn rate by objective and window (1.0 = exactly on budget).",
+		func() float64 { return s.Verdict().Errors.LongBurn },
+		Label{Name: "slo", Value: "errors"}, Label{Name: "window", Value: "long"})
+	reg.GaugeFunc("bcq_slo_degraded",
+		"1 when burn-rate detection deems the server degraded.",
+		func() float64 {
+			if s.Verdict().Degraded {
+				return 1
+			}
+			return 0
+		})
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,11 +18,23 @@ type SlowLog struct {
 	threshold time.Duration
 	sampleN   int64
 
+	// armed is fixed at construction (w != nil) so the hot-path guard
+	// never reads fields rotation mutates under mu.
+	armed bool
+
 	mu sync.Mutex
 	w  io.Writer
 
-	seen    atomic.Int64 // qualifying queries, sampled or not
-	written atomic.Int64
+	// File-backed state (NewSlowLogFile): rotation renames path to
+	// path+".1" and reopens truncated once size would exceed maxBytes.
+	path     string
+	f        *os.File
+	size     int64
+	maxBytes int64
+
+	seen      atomic.Int64 // qualifying queries, sampled or not
+	written   atomic.Int64
+	rotations atomic.Int64
 }
 
 // NewSlowLog builds a slow-query log writing JSON lines to w. threshold
@@ -30,7 +43,71 @@ func NewSlowLog(w io.Writer, threshold time.Duration, sampleN int) *SlowLog {
 	if sampleN < 1 {
 		sampleN = 1
 	}
-	return &SlowLog{threshold: threshold, sampleN: int64(sampleN), w: w}
+	return &SlowLog{threshold: threshold, sampleN: int64(sampleN), w: w, armed: w != nil}
+}
+
+// NewSlowLogFile builds a file-backed slow-query log that rotates: once
+// a write would push the file past maxBytes, the current file is renamed
+// to path+".1" (replacing any previous rotation) and a fresh file opened
+// — the log's disk footprint is bounded at roughly 2×maxBytes.
+// maxBytes ≤ 0 disables rotation and the file grows unboundedly.
+func NewSlowLogFile(path string, threshold time.Duration, sampleN int, maxBytes int64) (*SlowLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := NewSlowLog(f, threshold, sampleN)
+	l.path = path
+	l.f = f
+	l.size = st.Size()
+	l.maxBytes = maxBytes
+	return l, nil
+}
+
+// Rotations returns how many times the file has been rotated (0 on nil).
+func (l *SlowLog) Rotations() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.rotations.Load()
+}
+
+// Close closes a file-backed log (no-op otherwise; nil-safe).
+func (l *SlowLog) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// rotateLocked swaps the live file for a fresh one, keeping the previous
+// generation at path+".1". Called with mu held. A rotation failure keeps
+// writing to the old file — losing history beats losing the log.
+func (l *SlowLog) rotateLocked() {
+	if err := l.f.Close(); err == nil {
+		_ = os.Rename(l.path, l.path+".1")
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		// Reopen the original append target as a fallback.
+		f, err = os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			l.w = io.Discard
+			l.f = nil
+			return
+		}
+	}
+	l.f = f
+	l.w = f
+	l.size = 0
+	l.rotations.Add(1)
 }
 
 // Threshold returns the qualifying duration (0 on nil).
@@ -44,7 +121,7 @@ func (l *SlowLog) Threshold() time.Duration {
 // ShouldLog reports whether a query of duration d should be recorded,
 // advancing the sampling counter for qualifying queries. Nil-safe.
 func (l *SlowLog) ShouldLog(d time.Duration) bool {
-	if l == nil || l.w == nil {
+	if l == nil || !l.armed {
 		return false
 	}
 	if d < l.threshold {
@@ -106,7 +183,7 @@ type SlowEntry struct {
 // Record writes one entry as a single JSON line. Callers gate on
 // ShouldLog; Record itself writes unconditionally (nil-safe).
 func (l *SlowLog) Record(e SlowEntry) {
-	if l == nil || l.w == nil {
+	if l == nil || !l.armed {
 		return
 	}
 	if e.Time == "" {
@@ -118,7 +195,11 @@ func (l *SlowLog) Record(e SlowEntry) {
 	}
 	b = append(b, '\n')
 	l.mu.Lock()
+	if l.f != nil && l.maxBytes > 0 && l.size+int64(len(b)) > l.maxBytes && l.size > 0 {
+		l.rotateLocked()
+	}
 	_, _ = l.w.Write(b)
+	l.size += int64(len(b))
 	l.mu.Unlock()
 	l.written.Add(1)
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -134,5 +135,113 @@ func TestSlowLogConcurrent(t *testing.T) {
 	}
 	if int64(lines) != l.Written() {
 		t.Errorf("%d lines written, Written() = %d", lines, l.Written())
+	}
+}
+
+// TestSlowLogFileRotation: a file-backed log renames to .1 and truncates
+// once a write would exceed MaxBytes, bounding disk at ~2×MaxBytes.
+func TestSlowLogFileRotation(t *testing.T) {
+	path := t.TempDir() + "/slow.log"
+	// Entries are ~120 bytes; cap at 400 so a handful of writes rotates.
+	l, err := NewSlowLogFile(path, 0, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := 0; i < 20; i++ {
+		l.Record(SlowEntry{Endpoint: "query", Fingerprint: "q0", DurationMS: 1, Outcome: "ok"})
+	}
+	if l.Written() != 20 {
+		t.Fatalf("written = %d, want 20", l.Written())
+	}
+	if l.Rotations() == 0 {
+		t.Fatal("no rotation despite 20 writes against a 400-byte cap")
+	}
+
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("rotated generation missing: %v", err)
+	}
+	if int64(len(cur)) > 400+256 || int64(len(prev)) > 400+256 {
+		t.Fatalf("generation sizes %d/%d exceed cap+slack", len(cur), len(prev))
+	}
+	// Every line in both generations must still parse, and the total
+	// line count across generations plus rotations dropped must cover
+	// all writes (older generations are deliberately discarded).
+	lines := 0
+	for _, b := range [][]byte{prev, cur} {
+		sc := bufio.NewScanner(bytes.NewReader(b))
+		for sc.Scan() {
+			var e SlowEntry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatalf("corrupt line %q: %v", sc.Text(), err)
+			}
+			lines++
+		}
+	}
+	if lines == 0 || lines > 20 {
+		t.Fatalf("surviving lines = %d", lines)
+	}
+}
+
+// TestSlowLogFileNoRotationWhenUnbounded: maxBytes ≤ 0 never rotates.
+func TestSlowLogFileNoRotationWhenUnbounded(t *testing.T) {
+	path := t.TempDir() + "/slow.log"
+	l, err := NewSlowLogFile(path, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 50; i++ {
+		l.Record(SlowEntry{Endpoint: "query", Fingerprint: "q0", DurationMS: 1, Outcome: "ok"})
+	}
+	if l.Rotations() != 0 {
+		t.Fatalf("rotations = %d, want 0", l.Rotations())
+	}
+	if _, err := os.Stat(path + ".1"); err == nil {
+		t.Fatal("unexpected rotated generation")
+	}
+}
+
+// TestSlowLogFileRotationConcurrent: rotation under concurrent writers
+// stays race-free and every surviving line is intact JSON.
+func TestSlowLogFileRotationConcurrent(t *testing.T) {
+	path := t.TempDir() + "/slow.log"
+	l, err := NewSlowLogFile(path, 0, 1, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(SlowEntry{Endpoint: "query", Fingerprint: "qq", DurationMS: 2, Outcome: "ok"})
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range []string{path, path + ".1"} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(bytes.NewReader(b))
+		for sc.Scan() {
+			var e SlowEntry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatalf("corrupt line in %s: %v", p, err)
+			}
+		}
+	}
+	if l.Written() != 400 {
+		t.Fatalf("written = %d, want 400", l.Written())
 	}
 }

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock hands Sample a deterministic, advancing time.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func tsSeriesByName(t *testing.T, doc TSDocument, name string) TSSeriesJSON {
+	t.Helper()
+	for _, s := range doc.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q not in document (have %d series)", name, len(doc.Series))
+	return TSSeriesJSON{}
+}
+
+func TestTimeSeriesCounterRates(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesOptions{Interval: 5 * time.Second, Window: 8, Now: clk.now})
+	c := reg.Counter("bcq_test_ops_total", "ops", Label{Name: "endpoint", Value: "query"})
+
+	c.Add(10)
+	ts.Sample() // seeds only — no point yet
+	doc := ts.Document("bcq_test_ops_total", 0)
+	if got := tsSeriesByName(t, doc, "bcq_test_ops_total"); len(got.Points) != 0 {
+		t.Fatalf("first sample should only seed, got %d points", len(got.Points))
+	}
+
+	c.Add(50)
+	clk.advance(5 * time.Second)
+	ts.Sample()
+	got := tsSeriesByName(t, ts.Document("bcq_test_ops_total", 0), "bcq_test_ops_total")
+	if len(got.Points) != 1 {
+		t.Fatalf("want 1 point, got %d", len(got.Points))
+	}
+	if rate := got.Points[0].V; rate != 10 { // 50 ops / 5s
+		t.Fatalf("counter rate = %v, want 10", rate)
+	}
+	if got.Labels["endpoint"] != "query" {
+		t.Fatalf("labels = %v, want endpoint=query", got.Labels)
+	}
+	if got.Kind != "counter" {
+		t.Fatalf("kind = %q, want counter", got.Kind)
+	}
+}
+
+func TestTimeSeriesGaugeAndHistogramDeltaQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesOptions{Interval: time.Second, Window: 8, Now: clk.now})
+	g := reg.Gauge("bcq_test_depth", "depth")
+	h := reg.Histogram("bcq_test_latency_seconds", "lat", LatencyBuckets)
+
+	g.Set(3)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001) // 1ms era
+	}
+	ts.Sample() // seed
+
+	// Second era: latency jumps to ~100ms. A cumulative quantile would
+	// still be dragged down by the 100 old 1ms observations; the delta
+	// window must see only the new regime.
+	g.Set(7)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.1)
+	}
+	clk.advance(time.Second)
+	ts.Sample()
+
+	doc := ts.Document("", 0)
+	gs := tsSeriesByName(t, doc, "bcq_test_depth")
+	if gs.Points[0].V != 7 {
+		t.Fatalf("gauge point = %v, want 7", gs.Points[0].V)
+	}
+	hs := tsSeriesByName(t, doc, "bcq_test_latency_seconds")
+	p := hs.Points[0]
+	if p.N != 100 {
+		t.Fatalf("delta count = %d, want 100", p.N)
+	}
+	if p.P50 < 0.05 || p.P50 > 0.25 {
+		t.Fatalf("delta p50 = %v, want ≈0.1 (old era must not drag it down)", p.P50)
+	}
+	if cum := h.Quantile(0.50); cum > 0.05 {
+		t.Fatalf("sanity: cumulative p50 = %v should still be dominated by the 1ms era", cum)
+	}
+}
+
+func TestTimeSeriesWindowWraps(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	const window = 4
+	ts := NewTimeSeries(reg, TimeSeriesOptions{Interval: time.Second, Window: window, Now: clk.now})
+	g := reg.Gauge("bcq_test_wrap", "wrap")
+
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i))
+		ts.Sample()
+		clk.advance(time.Second)
+	}
+	got := tsSeriesByName(t, ts.Document("bcq_test_wrap", 0), "bcq_test_wrap")
+	if len(got.Points) != window {
+		t.Fatalf("ring retained %d points, want window %d", len(got.Points), window)
+	}
+	// 10 samples: first seeds, points carry values 1..9; last `window` are 6..9.
+	for i, p := range got.Points {
+		if want := float64(6 + i); p.V != want {
+			t.Fatalf("point[%d] = %v, want %v (oldest-first)", i, p.V, want)
+		}
+	}
+	// last=2 trims to the newest two, still oldest-first.
+	got = tsSeriesByName(t, ts.Document("bcq_test_wrap", 2), "bcq_test_wrap")
+	if len(got.Points) != 2 || got.Points[0].V != 8 || got.Points[1].V != 9 {
+		t.Fatalf("last=2 points = %+v, want [8 9]", got.Points)
+	}
+}
+
+func TestTimeSeriesMaxSeriesCap(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesOptions{Interval: time.Second, Window: 4, MaxSeries: 5, Now: clk.now})
+	for i := 0; i < 20; i++ {
+		reg.Counter("bcq_test_cardinality_total", "fanout",
+			Label{Name: "shard", Value: fmt.Sprintf("%d", i)}).Add(1)
+	}
+	ts.Sample()
+
+	doc := ts.Document("", 0)
+	if doc.SeriesCount != 5 {
+		t.Fatalf("resident series = %d, want cap 5", doc.SeriesCount)
+	}
+	// 20 cardinality series + 3 sampler self-metrics − 5 admitted = 18 dropped.
+	if doc.SeriesDropped != 18 {
+		t.Fatalf("dropped = %d, want 18", doc.SeriesDropped)
+	}
+	// The drop is visible on the scrape path too.
+	if want := "bcq_timeseries_dropped_series_total 18"; !containsLine(reg.Expose(), want) {
+		t.Fatalf("scrape missing %q", want)
+	}
+}
+
+func containsLine(s, sub string) bool {
+	for _, line := range splitLines(s) {
+		if line == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestTimeSeriesJSONShape(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesOptions{Interval: time.Second, Window: 4, Now: clk.now})
+	reg.Counter("bcq_test_a_total", "a").Add(1)
+	ts.Sample()
+	clk.advance(time.Second)
+	ts.Sample()
+
+	var doc TSDocument
+	if err := json.Unmarshal(ts.JSON("", 0), &doc); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if doc.IntervalMS != 1000 || doc.Window != 4 || doc.Samples != 2 {
+		t.Fatalf("header = %+v", doc)
+	}
+	names := make([]string, 0, len(doc.Series))
+	for _, s := range doc.Series {
+		names = append(names, s.Name)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("series not name-sorted: %v", names)
+		}
+	}
+}
+
+func TestTimeSeriesNilSafe(t *testing.T) {
+	var ts *TimeSeries
+	ts.Start()
+	ts.Sample()
+	ts.Stop()
+	if d := ts.Document("", 0); len(d.Series) != 0 {
+		t.Fatalf("nil Document = %+v", d)
+	}
+	if ts.Interval() != 0 {
+		t.Fatal("nil Interval should be 0")
+	}
+	_ = ts.JSON("", 0)
+	if got := NewTimeSeries(nil, TimeSeriesOptions{}); got != nil {
+		t.Fatal("NewTimeSeries(nil) should be nil")
+	}
+}
+
+// TestTimeSeriesConcurrent hammers Sample, Document, and instrument
+// updates together; run under -race.
+func TestTimeSeriesConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	ts := NewTimeSeries(reg, TimeSeriesOptions{Interval: time.Millisecond, Window: 16})
+	ts.Start()
+	defer ts.Stop()
+	c := reg.Counter("bcq_test_conc_total", "c")
+	h := reg.Histogram("bcq_test_conc_seconds", "h", LatencyBuckets)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c.Add(1)
+				h.Observe(float64(i%10) / 1e4)
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = ts.JSON("bcq_", 4)
+				ts.Sample()
+			}
+		}()
+	}
+	wg.Wait()
+}

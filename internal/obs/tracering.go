@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecorderOptions tunes a TraceRecorder.
+type TraceRecorderOptions struct {
+	// Capacity is the retention ring size (≤ 0 means
+	// DefaultTraceCapacity). Memory is bounded: at most Capacity complete
+	// span trees, each already capped at maxSpans spans.
+	Capacity int
+	// SlowThreshold retains any request at least this slow (0 disables
+	// the absolute criterion; outlier/error/forced retention still apply).
+	SlowThreshold time.Duration
+	// OutlierFactor retains a request slower than factor × rolling p99
+	// (≤ 0 means DefaultOutlierFactor).
+	OutlierFactor float64
+	// MinObservations arms the outlier criterion only after the rolling
+	// window has seen this many latencies — a cold p99 over three
+	// requests retains everything (≤ 0 means DefaultMinObservations).
+	MinObservations int64
+}
+
+// Defaults for TraceRecorderOptions.
+const (
+	DefaultTraceCapacity   = 256
+	DefaultOutlierFactor   = 1.5
+	DefaultMinObservations = 128
+)
+
+// rollingRotate is how many observations accumulate before the rolling
+// p99 is recomputed from the histogram delta.
+const rollingRotate = 256
+
+// RetainedTrace is one kept span tree plus the request metadata that
+// justified keeping it.
+type RetainedTrace struct {
+	ID          string          `json:"trace_id"`
+	Time        string          `json:"ts"`
+	Endpoint    string          `json:"endpoint"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	DurationMS  float64         `json:"duration_ms"`
+	Outcome     string          `json:"outcome"`
+	Reasons     []string        `json:"reasons"`
+	Spans       json.RawMessage `json:"spans,omitempty"`
+}
+
+// TraceMeta describes one finished request to Consider.
+type TraceMeta struct {
+	Endpoint    string
+	Fingerprint string
+	Duration    time.Duration
+	Outcome     string
+	Err         bool
+	// Force retains unconditionally — the slow-log uses it so every
+	// logged trace ID resolves (exemplar linking).
+	Force bool
+}
+
+// TraceRecorder tail-samples traces: every request is head-traced (the
+// serving layer traces unconditionally while a recorder is armed), and
+// at request end Consider keeps the complete span tree only when the
+// request was slow, errored, forced (slow-logged), or a latency outlier
+// versus the rolling p99. Retained traces live in a fixed ring,
+// addressable by trace ID, so the X-BQ-Trace-Id a client saw — or a
+// slow-log line recorded — resolves to evidence after the fact.
+//
+// The rolling p99 is fed by ObserveLatency (the engine reports exec
+// durations) and recomputed every rollingRotate observations from the
+// histogram's delta window, so the outlier bar tracks the current
+// regime rather than the process lifetime. All methods are nil-safe.
+type TraceRecorder struct {
+	capacity int
+	slow     time.Duration
+	factor   float64
+	minObs   int64
+
+	// Rolling-p99 state: a private histogram plus the cumulative bucket
+	// snapshot at the last rotation; p99bits caches the threshold.
+	hist     *Histogram
+	histMu   sync.Mutex
+	lastRot  []int64
+	sinceRot int64
+	p99bits  atomic.Uint64
+	observed atomic.Int64
+
+	mu       sync.Mutex
+	ring     []*RetainedTrace
+	head     int
+	count    int
+	byID     map[string]int
+	retained atomic.Int64
+	evicted  atomic.Int64
+}
+
+// NewTraceRecorder builds a tail-sampling trace ring.
+func NewTraceRecorder(opts TraceRecorderOptions) *TraceRecorder {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultTraceCapacity
+	}
+	if opts.OutlierFactor <= 0 {
+		opts.OutlierFactor = DefaultOutlierFactor
+	}
+	if opts.MinObservations <= 0 {
+		opts.MinObservations = DefaultMinObservations
+	}
+	return &TraceRecorder{
+		capacity: opts.Capacity,
+		slow:     opts.SlowThreshold,
+		factor:   opts.OutlierFactor,
+		minObs:   opts.MinObservations,
+		hist:     newHistogram(LatencyBuckets),
+		ring:     make([]*RetainedTrace, opts.Capacity),
+		byID:     make(map[string]int, opts.Capacity),
+	}
+}
+
+// Instrument registers the recorder's health metrics. Nil-safe both ways.
+func (r *TraceRecorder) Instrument(reg *Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("bcq_traces_retained_total",
+		"Traces kept by the tail-sampling recorder.",
+		func() float64 { return float64(r.retained.Load()) })
+	reg.CounterFunc("bcq_traces_evicted_total",
+		"Retained traces evicted by ring wrap.",
+		func() float64 { return float64(r.evicted.Load()) })
+	reg.GaugeFunc("bcq_traces_resident",
+		"Traces currently resident in the retention ring.",
+		func() float64 { r.mu.Lock(); defer r.mu.Unlock(); return float64(r.count) })
+	reg.GaugeFunc("bcq_trace_rolling_p99_seconds",
+		"Rolling p99 latency the outlier criterion compares against.",
+		func() float64 { return r.RollingP99().Seconds() })
+}
+
+// ObserveLatency feeds the rolling-p99 window. The engine calls it per
+// execution; every rollingRotate observations the p99 is recomputed from
+// the bucket-count delta since the previous rotation. Nil-safe.
+func (r *TraceRecorder) ObserveLatency(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.hist.Observe(d.Seconds())
+	r.observed.Add(1)
+	r.histMu.Lock()
+	r.sinceRot++
+	if r.sinceRot >= rollingRotate || r.lastRot == nil {
+		cum := r.hist.BucketCounts()
+		if r.lastRot != nil {
+			delta := make([]int64, len(cum))
+			for i := range cum {
+				delta[i] = cum[i] - r.lastRot[i]
+			}
+			p99 := QuantileFromCounts(r.hist.bounds, delta, 0.99)
+			r.p99bits.Store(math.Float64bits(p99))
+		}
+		r.lastRot = cum
+		r.sinceRot = 0
+	}
+	r.histMu.Unlock()
+}
+
+// RollingP99 returns the current outlier baseline (0 until the first
+// rotation completes; nil-safe).
+func (r *TraceRecorder) RollingP99() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(math.Float64frombits(r.p99bits.Load()) * float64(time.Second))
+}
+
+// Consider decides, at request end, whether to retain the trace. The
+// union of criteria: Force (slow-logged), Err, duration ≥ SlowThreshold,
+// duration > OutlierFactor × rolling p99 (once MinObservations latencies
+// have been seen). Returns the retention reasons, empty when the trace
+// was let go. Nil-safe on recorder and trace alike.
+func (r *TraceRecorder) Consider(tr *Trace, meta TraceMeta) []string {
+	if r == nil || tr == nil {
+		return nil
+	}
+	var reasons []string
+	if meta.Force {
+		reasons = append(reasons, "slow-log")
+	}
+	if meta.Err {
+		reasons = append(reasons, "error")
+	}
+	if r.slow > 0 && meta.Duration >= r.slow {
+		reasons = append(reasons, "slow")
+	}
+	if r.observed.Load() >= r.minObs {
+		if p99 := r.RollingP99(); p99 > 0 && meta.Duration > time.Duration(r.factor*float64(p99)) {
+			reasons = append(reasons, "outlier")
+		}
+	}
+	if len(reasons) == 0 {
+		return nil
+	}
+	outcome := meta.Outcome
+	if outcome == "" {
+		if meta.Err {
+			outcome = "error"
+		} else {
+			outcome = "ok"
+		}
+	}
+	rt := &RetainedTrace{
+		ID:          tr.ID(),
+		Time:        time.Now().UTC().Format(time.RFC3339Nano),
+		Endpoint:    meta.Endpoint,
+		Fingerprint: meta.Fingerprint,
+		DurationMS:  float64(meta.Duration) / float64(time.Millisecond),
+		Outcome:     outcome,
+		Reasons:     reasons,
+		Spans:       tr.JSON(),
+	}
+	r.mu.Lock()
+	slot := r.head
+	if old := r.ring[slot]; old != nil {
+		// Drop the index entry only if it still points at this slot — a
+		// later retention of the same ID may own a fresher slot.
+		if idx, ok := r.byID[old.ID]; ok && idx == slot {
+			delete(r.byID, old.ID)
+		}
+		r.evicted.Add(1)
+	}
+	r.ring[slot] = rt
+	r.byID[rt.ID] = slot
+	r.head = (r.head + 1) % r.capacity
+	if r.count < r.capacity {
+		r.count++
+	}
+	r.mu.Unlock()
+	r.retained.Add(1)
+	return reasons
+}
+
+// Get resolves a retained trace by ID (nil when evicted or never
+// retained; nil-safe).
+func (r *TraceRecorder) Get(id string) *RetainedTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, ok := r.byID[id]
+	if !ok {
+		return nil
+	}
+	rt := r.ring[idx]
+	if rt == nil || rt.ID != id {
+		return nil
+	}
+	return rt
+}
+
+// List returns retained-trace summaries (Spans omitted), most recent
+// first, at most limit (≤ 0 = all). Nil-safe.
+func (r *TraceRecorder) List(limit int) []RetainedTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.count
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]RetainedTrace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.head - 1 - i + r.capacity*2) % r.capacity
+		rt := r.ring[idx]
+		if rt == nil {
+			break
+		}
+		summary := *rt
+		summary.Spans = nil
+		out = append(out, summary)
+	}
+	return out
+}
+
+// Resident returns how many traces the ring currently holds (0 on nil).
+func (r *TraceRecorder) Resident() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Capacity returns the ring size (0 on nil).
+func (r *TraceRecorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return r.capacity
+}

@@ -15,9 +15,15 @@ import (
 // classify the response status: ok (<400), client_error (4xx), overload
 // (503), timeout (504), error (5xx).
 var (
-	httpEndpoints = []string{"query", "prepare", "ingest", "stats", "healthz", "metrics"}
+	httpEndpoints = []string{"query", "prepare", "ingest", "stats", "healthz", "metrics", "debug"}
 	httpOutcomes  = []string{"ok", "client_error", "overload", "timeout", "error"}
 )
+
+// sloEndpoints are the endpoints whose requests feed burn-rate
+// detection: the work endpoints. Probes and scrapes (/stats, /healthz,
+// /metrics, /debug) never burn the budget — a dashboard refresh is not
+// user traffic.
+var sloEndpoints = map[string]bool{"query": true, "prepare": true, "ingest": true}
 
 // instrument registers the server's metrics on the observer's registry
 // and pre-resolves the per-(endpoint, outcome) latency histograms, so a
@@ -63,7 +69,10 @@ func (s *Server) instrument() {
 	cf("bcq_cursors_evicted_total", "Cursors evicted at capacity.", s.cursors.evicted.Load)
 	if sl := s.obs.Slow(); sl != nil {
 		cf("bcq_slow_queries_logged_total", "Slow-query log entries written.", sl.Written)
+		cf("bcq_slow_log_rotations_total", "Slow-query log file rotations (MaxBytes reached).", sl.Rotations)
 	}
+	s.obs.TraceRec().Instrument(reg)
+	s.obs.SLOMonitor().Instrument(reg)
 }
 
 // statusRecorder captures the response status for outcome labeling. It
@@ -111,12 +120,16 @@ func outcomeOf(status int) string {
 }
 
 // instrumented wraps one endpoint's handler with request-latency
-// recording. With metrics disabled it is the handler itself — zero added
+// recording and, for the work endpoints, SLO burn accounting (a 5xx
+// burns the error budget; anything else burns the latency budget only
+// if slow). With both disabled it is the handler itself — zero added
 // allocations on the disabled path.
 func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	if s.httpSec == nil {
+	slo := s.obs.SLOMonitor()
+	if s.httpSec == nil && slo == nil {
 		return h
 	}
+	sloHere := slo != nil && sloEndpoints[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
@@ -124,18 +137,26 @@ func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerF
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		s.httpSec[endpoint+"\x00"+outcomeOf(rec.status)].Observe(time.Since(start).Seconds())
+		d := time.Since(start)
+		if s.httpSec != nil {
+			s.httpSec[endpoint+"\x00"+outcomeOf(rec.status)].Observe(d.Seconds())
+		}
+		if sloHere {
+			slo.Record(d, rec.status >= 500)
+		}
 	}
 }
 
 // traceFor decides whether a query request runs traced: the client sent
-// X-BQ-Trace-Id (adopted as the trace ID), asked for debug output, or the
-// slow-query log is armed — spans must exist before the duration reveals
-// whether the query was slow. Returns nil otherwise (untraced execution
-// costs one nil check per site).
+// X-BQ-Trace-Id (adopted as the trace ID), asked for debug output, the
+// slow-query log is armed, or a tail-sampling trace recorder is — spans
+// must exist before the duration reveals whether the query was slow or
+// an outlier (head-trace everything, decide retention at the end).
+// Returns nil otherwise (untraced execution costs one nil check per
+// site).
 func (s *Server) traceFor(r *http.Request, req queryRequest) *obs.Trace {
 	id := r.Header.Get("X-BQ-Trace-Id")
-	if id == "" && !req.Debug && s.obs.Slow() == nil {
+	if id == "" && !req.Debug && s.obs.Slow() == nil && s.obs.TraceRec() == nil {
 		return nil
 	}
 	return obs.NewTrace(id, "query")
@@ -144,25 +165,57 @@ func (s *Server) traceFor(r *http.Request, req queryRequest) *obs.Trace {
 // maybeSlowLog records one slow-query entry when the duration qualifies
 // and the sampler picks it: the fingerprint, the plan with estimate
 // versus actual per step, and the request's span tree as one JSON line.
-func (s *Server) maybeSlowLog(endpoint string, p *engine.Prepared, res *exec.Result, tr *obs.Trace, d time.Duration, answers int) {
-	sl := s.obs.Slow()
-	if sl == nil || !sl.ShouldLog(d) {
-		return
+// It then offers the trace to the tail-sampling recorder — forced when
+// the entry was logged, so every slow-log trace ID resolves via
+// /debug/traces/{id} (exemplar linking); otherwise retention falls to
+// the recorder's own slow/outlier criteria. outcome "" means ok.
+func (s *Server) maybeSlowLog(endpoint string, p *engine.Prepared, res *exec.Result, tr *obs.Trace, d time.Duration, answers int, outcome string) {
+	if outcome == "" {
+		outcome = "ok"
 	}
-	sl.Record(obs.SlowEntry{
-		TraceID:     tr.ID(),
+	sl := s.obs.Slow()
+	logged := sl != nil && sl.ShouldLog(d)
+	if logged {
+		sl.Record(obs.SlowEntry{
+			TraceID:     tr.ID(),
+			Endpoint:    endpoint,
+			Fingerprint: p.Query().String(),
+			DurationMS:  float64(d) / float64(time.Millisecond),
+			Outcome:     outcome,
+			Answers:     answers,
+			Fetched:     res.Stats.TuplesFetched,
+			DQSize:      res.DQSize,
+			Limit:       res.Limit,
+			EstFetch:    p.EstFetch(),
+			Steps:       slowSteps(p.Plan(), res),
+			Plan:        p.Explain(res),
+			Spans:       tr.JSON(),
+		})
+	}
+	s.obs.TraceRec().Consider(tr, obs.TraceMeta{
 		Endpoint:    endpoint,
 		Fingerprint: p.Query().String(),
-		DurationMS:  float64(d) / float64(time.Millisecond),
-		Outcome:     "ok",
-		Answers:     answers,
-		Fetched:     res.Stats.TuplesFetched,
-		DQSize:      res.DQSize,
-		Limit:       res.Limit,
-		EstFetch:    p.EstFetch(),
-		Steps:       slowSteps(p.Plan(), res),
-		Plan:        p.Explain(res),
-		Spans:       tr.JSON(),
+		Duration:    d,
+		Outcome:     outcome,
+		Err:         outcome == "error",
+		Force:       logged,
+	})
+}
+
+// considerError finishes a failed request's trace and offers it to the
+// recorder — errored requests always qualify for retention, so the
+// evidence of a failure survives the response.
+func (s *Server) considerError(endpoint, fingerprint string, tr *obs.Trace, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	s.obs.TraceRec().Consider(tr, obs.TraceMeta{
+		Endpoint:    endpoint,
+		Fingerprint: fingerprint,
+		Duration:    d,
+		Outcome:     "error",
+		Err:         true,
 	})
 }
 

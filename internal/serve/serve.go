@@ -179,6 +179,13 @@ func New(eng *engine.Engine, opts Options) (*Server, error) {
 	if reg := s.obs.Reg(); reg != nil {
 		mux.HandleFunc("/metrics", s.instrumented("metrics", reg.Handler().ServeHTTP))
 	}
+	if s.obs.Series() != nil {
+		mux.HandleFunc("/debug/timeseries", s.instrumented("debug", s.handleDebugTimeseries))
+	}
+	if s.obs.TraceRec() != nil {
+		mux.HandleFunc("/debug/traces", s.instrumented("debug", s.handleDebugTraces))
+		mux.HandleFunc("/debug/traces/", s.instrumented("debug", s.handleDebugTraceByID))
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -402,6 +409,7 @@ func (s *Server) execQuery(req queryRequest, args []value.Value, tr *obs.Trace, 
 		p, err = s.eng.Prepare(req.Query)
 	}
 	if err != nil {
+		s.considerError("query", "", tr, time.Since(start))
 		return errResult(http.StatusBadRequest, "%v", err)
 	}
 
@@ -415,6 +423,10 @@ func (s *Server) execQuery(req queryRequest, args []value.Value, tr *obs.Trace, 
 		if body, ok := s.cache.get(key); ok {
 			tr.Root().Tag("result_cache", "hit")
 			tr.Finish()
+			s.obs.TraceRec().Consider(tr, obs.TraceMeta{
+				Endpoint: "query", Fingerprint: p.Query().String(),
+				Duration: time.Since(start), Outcome: "ok",
+			})
 			env := queryEnvelope{Result: body, Cached: true, Epoch: epoch, TraceID: tr.ID()}
 			if req.Debug {
 				env.Debug = &debugPayload{Explain: p.Explain(nil), Spans: tr.JSON()}
@@ -429,17 +441,19 @@ func (s *Server) execQuery(req queryRequest, args []value.Value, tr *obs.Trace, 
 		res, err = p.ExecOn(view, args...)
 	}
 	if err != nil {
+		s.considerError("query", p.Query().String(), tr, time.Since(start))
 		return errResult(http.StatusBadRequest, "%v", err)
 	}
 	body, err := marshalResult(res)
 	if err != nil {
+		s.considerError("query", p.Query().String(), tr, time.Since(start))
 		return errResult(http.StatusInternalServerError, "%v", err)
 	}
 	if key != "" {
 		s.cache.put(key, body)
 	}
 	tr.Finish()
-	s.maybeSlowLog("query", p, res, tr, time.Since(start), len(res.Tuples))
+	s.maybeSlowLog("query", p, res, tr, time.Since(start), len(res.Tuples), "")
 	env := queryEnvelope{Result: body, Epoch: epoch, TraceID: tr.ID()}
 	if req.Debug {
 		env.Debug = &debugPayload{Explain: p.Explain(res), Spans: tr.JSON()}
@@ -492,6 +506,7 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, req queryRequ
 			p, err = s.eng.Prepare(req.Query)
 		}
 		if err != nil {
+			s.considerError("query", "", tr, time.Since(start))
 			apiError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -502,6 +517,7 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, req queryRequ
 		view := s.eng.View()
 		stream, err := p.ExecStreamOn(view, exec.StreamOptions{Trace: tr}, args...)
 		if err != nil {
+			s.considerError("query", p.Query().String(), tr, time.Since(start))
 			apiError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -597,7 +613,14 @@ func (s *Server) writePage(ctx context.Context, w http.ResponseWriter, st *curso
 	if st.prep != nil {
 		// Page durations qualify for the slow log like buffered answers;
 		// the entry's stats are cumulative over the cursor's whole scan.
-		s.maybeSlowLog("query", st.prep, res, st.trace, time.Since(start), n)
+		outcome := ""
+		switch {
+		case streamErr != nil:
+			outcome = "error"
+		case timedOut:
+			outcome = "timeout"
+		}
+		s.maybeSlowLog("query", st.prep, res, st.trace, time.Since(start), n, outcome)
 	}
 	if streamErr != nil {
 		fmt.Fprintf(w, `,"error":%s`, jsonString(streamErr.Error()))
@@ -754,7 +777,60 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.Access = &acc
 		st.Relations = s.metrics.RelStats()
 	}
+	st.Latency = s.endpointLatency()
 	writeJSON(w, http.StatusOK, st)
+}
+
+// EndpointLatency is one endpoint's request-latency summary in /stats,
+// extracted from the same histograms /metrics exposes (all outcomes
+// merged — the client's experience includes the errors).
+type EndpointLatency struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// endpointLatency merges each endpoint's per-outcome histograms into
+// cumulative quantiles (nil without metrics). Same-layout histograms
+// merge by summing bucket counts — see obs.QuantileFromCounts.
+func (s *Server) endpointLatency() map[string]EndpointLatency {
+	if s.httpSec == nil {
+		return nil
+	}
+	out := make(map[string]EndpointLatency, len(httpEndpoints))
+	for _, ep := range httpEndpoints {
+		var merged []int64
+		var count int64
+		for _, oc := range httpOutcomes {
+			h := s.httpSec[ep+"\x00"+oc]
+			if h == nil {
+				continue
+			}
+			counts := h.BucketCounts()
+			if merged == nil {
+				merged = counts
+			} else {
+				for i := range counts {
+					merged[i] += counts[i]
+				}
+			}
+		}
+		for _, n := range merged {
+			count += n
+		}
+		if count == 0 {
+			continue
+		}
+		const toMS = 1e3
+		out[ep] = EndpointLatency{
+			Count: count,
+			P50MS: obs.QuantileFromCounts(obs.LatencyBuckets, merged, 0.50) * toMS,
+			P95MS: obs.QuantileFromCounts(obs.LatencyBuckets, merged, 0.95) * toMS,
+			P99MS: obs.QuantileFromCounts(obs.LatencyBuckets, merged, 0.99) * toMS,
+		}
+	}
+	return out
 }
 
 // serverStats is the admission-side counter block of /stats.
@@ -783,33 +859,51 @@ type statsResponse struct {
 	Access      *storage.Stats           `json:"access,omitempty"`
 	Relations   map[string]storage.Stats `json:"relations,omitempty"`
 	Cardinality *stats.Snapshot          `json:"cardinality,omitempty"`
+	// Latency summarizes each endpoint's request-latency histograms
+	// (p50/p95/p99, all outcomes merged); nil without metrics.
+	Latency map[string]EndpointLatency `json:"latency,omitempty"`
 }
 
 // handleHealthz answers GET /healthz with a readiness payload: the
 // current epoch key, the store's shard count, and the worker pool's
 // saturation (in-flight over the admission bound — 1.0 means the next
-// request is rejected 503). Everything comes from display accessors and
-// atomics — no view pin, no lock, so probers never contend with writers
-// or serving traffic.
+// request is rejected 503). With an SLO monitor wired, the payload adds
+// the burn-rate verdict: status "degraded" (with reasons and both
+// windows' burn rates) when short AND long windows burn past threshold.
+// OK stays true — it is liveness, not the SLO verdict; orchestrators
+// keying restarts off ok must not flap on a latency regression.
+// Everything comes from display accessors and atomics — no view pin, no
+// lock, so probers never contend with writers or serving traffic.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	inFlight := s.waiting.Load()
-	writeJSON(w, http.StatusOK, struct {
-		OK         bool    `json:"ok"`
-		Epoch      string  `json:"epoch"`
-		Shards     int     `json:"shards"`
-		Workers    int     `json:"workers"`
-		MaxQueue   int     `json:"max_queue"`
-		InFlight   int64   `json:"in_flight"`
-		Saturation float64 `json:"saturation"`
+	payload := struct {
+		OK         bool            `json:"ok"`
+		Status     string          `json:"status"`
+		Epoch      string          `json:"epoch"`
+		Shards     int             `json:"shards"`
+		Workers    int             `json:"workers"`
+		MaxQueue   int             `json:"max_queue"`
+		InFlight   int64           `json:"in_flight"`
+		Saturation float64         `json:"saturation"`
+		SLO        *obs.SLOVerdict `json:"slo,omitempty"`
 	}{
 		OK:         true,
+		Status:     "ok",
 		Epoch:      s.eng.EpochKey(),
 		Shards:     s.eng.Shards(),
 		Workers:    s.workers,
 		MaxQueue:   s.maxQueue,
 		InFlight:   inFlight,
 		Saturation: float64(inFlight) / float64(s.workers+s.maxQueue),
-	})
+	}
+	if slo := s.obs.SLOMonitor(); slo != nil {
+		v := slo.Verdict()
+		payload.SLO = &v
+		if v.Degraded {
+			payload.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // maxBodyBytes bounds a request body: large enough for bulk ingest

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func flat(pairs map[string]float64) map[string]float64 { return pairs }
+
+// TestCompareRegression: a time path 30% and 5ms worse regresses; the
+// same relative slip under the absolute floor does not.
+func TestCompareRegression(t *testing.T) {
+	base := flat(map[string]float64{
+		"rows[0].total_ns": 10_000_000, // 10ms
+		"rows[0].ttft_ns":  60_000,     // 60µs — above floor, small value
+		"answers":          90_000,     // no suffix: informational
+	})
+	cur := flat(map[string]float64{
+		"rows[0].total_ns": 13_500_000, // +35%, +3.5ms > 50µs floor
+		"rows[0].ttft_ns":  75_000,     // +25% exactly — not > threshold
+		"answers":          1,          // ignored even though it collapsed
+	})
+	r := compare(base, cur, 0.25)
+	if len(r.Regressions) != 1 || r.Regressions[0].Path != "rows[0].total_ns" {
+		t.Fatalf("regressions = %+v, want exactly rows[0].total_ns", r.Regressions)
+	}
+	if r.Checked != 2 {
+		t.Errorf("checked %d paths, want 2 (answers carries no suffix)", r.Checked)
+	}
+}
+
+// TestCompareNoiseFloor: a huge relative slip on a tiny measurement
+// stays under the absolute floor and passes.
+func TestCompareNoiseFloor(t *testing.T) {
+	base := flat(map[string]float64{"sample_ns": 1_000, "overhead_pct": 0.1})
+	cur := flat(map[string]float64{"sample_ns": 30_000, "overhead_pct": 4.9})
+	// +2900% but only +29µs (< 50µs floor); +4.8 points (< 5 point floor).
+	if r := compare(base, cur, 0.25); len(r.Regressions) != 0 {
+		t.Fatalf("noise flagged as regression: %+v", r.Regressions)
+	}
+	// Past both floor and threshold it fails.
+	cur["sample_ns"] = 1_000_000
+	if r := compare(base, cur, 0.25); len(r.Regressions) != 1 {
+		t.Fatalf("real regression not flagged")
+	}
+}
+
+// TestCompareImprovementAndDrift: improvements and path drift are
+// reported, not fatal.
+func TestCompareImprovementAndDrift(t *testing.T) {
+	base := flat(map[string]float64{"a_ms": 100, "gone_ms": 5})
+	cur := flat(map[string]float64{"a_ms": 10, "new_ms": 7})
+	r := compare(base, cur, 0.25)
+	if len(r.Regressions) != 0 {
+		t.Fatalf("regressions = %+v", r.Regressions)
+	}
+	if len(r.Improved) != 1 || r.Improved[0] != "a_ms" {
+		t.Errorf("improved = %v, want [a_ms]", r.Improved)
+	}
+	if len(r.Missing) != 1 || r.Missing[0] != "gone_ms" {
+		t.Errorf("missing = %v, want [gone_ms]", r.Missing)
+	}
+	if len(r.Added) != 1 || r.Added[0] != "new_ms" {
+		t.Errorf("added = %v, want [new_ms]", r.Added)
+	}
+	out := r.String()
+	for _, want := range []string{"improved   a_ms", "gone_ms missing", "new path new_ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadFlat: nested objects and arrays flatten to dotted paths.
+func TestLoadFlat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, []byte(`{"rows": [{"total_ns": 5, "mode": "x"}], "top_pct": 1.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadFlat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["rows[0].total_ns"] != 5 || m["top_pct"] != 1.5 {
+		t.Fatalf("flattened map = %v", m)
+	}
+	if _, ok := m["rows[0].mode"]; ok {
+		t.Error("non-numeric leaf flattened")
+	}
+	if _, err := loadFlat(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
