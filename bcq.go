@@ -392,6 +392,20 @@ func NewLiveEngine(ld *LiveDatabase, opts EngineOptions) (*Engine, error) {
 	return engine.NewLive(ld, opts)
 }
 
+// LiveRecovery reports what OpenLiveDatabase did to bring a durable
+// store back: the checkpoint it resumed from, the WAL tail it replayed,
+// and the torn records it dropped.
+type LiveRecovery = live.Recovery
+
+// OpenLiveDatabase recovers a durable live database from a directory
+// (or creates a fresh one over an empty base when the directory holds no
+// store state). Pair it with LiveOptions.Dir on NewLiveDatabase, which
+// seeds a durable store from loaded data; Close checkpoints and closes
+// the WAL so a clean restart replays zero records.
+func OpenLiveDatabase(dir string, cat *Catalog, acc *AccessSchema, opts LiveOptions) (*LiveDatabase, *LiveRecovery, error) {
+	return live.Open(dir, cat, acc, opts)
+}
+
 // Re-exported sharding types.
 type (
 	// ShardedDatabase partitions one database into P shards, each its own
@@ -425,6 +439,26 @@ func NewShardedDatabase(db *Database, acc *AccessSchema, opts ShardOptions) (*Sh
 // scales with the shard count.
 func NewShardedEngine(ss *ShardedDatabase, opts EngineOptions) (*Engine, error) {
 	return engine.NewSharded(ss, opts)
+}
+
+// ShardRecovery reports what OpenShardedDatabase did per shard to bring
+// a durable sharded store back.
+type ShardRecovery = shard.Recovery
+
+// ErrShardMismatch matches (errors.Is) an OpenShardedDatabase whose
+// ShardOptions.Shards disagrees with the directory's manifest (leave
+// Shards zero to accept the manifest's count).
+var ErrShardMismatch = shard.ErrShardMismatch
+
+// OpenShardedDatabase recovers a durable sharded database: each shard
+// recovers its newest valid checkpoint and replays its WAL tail in
+// parallel, the manifest restores the partition placements, and a schema
+// extension torn mid-commit is healed to the union of what any shard
+// durably holds. Pair it with ShardOptions.Dir on NewShardedDatabase,
+// which seeds a durable store from loaded data; Close checkpoints every
+// shard so a clean restart replays zero records.
+func OpenShardedDatabase(dir string, cat *Catalog, acc *AccessSchema, opts ShardOptions) (*ShardedDatabase, *ShardRecovery, error) {
+	return shard.Open(dir, cat, acc, opts)
 }
 
 // Re-exported serving-layer types.

@@ -39,6 +39,17 @@
 // their probes across the shards — answers are cross-checked against a
 // single-store run — and -ingest streams through the shard-parallel write
 // path. -v adds the per-relation access breakdown and per-shard balance.
+//
+// The -data-dir DIR flag makes the store durable: a fresh directory is
+// seeded from -dataset/-scale and written as per-shard epoch-0
+// checkpoint segments, an existing one is recovered (newest valid
+// checkpoint plus replayed WAL tail — the dataset flags are then
+// ignored for data, and -shards must match the directory's manifest or
+// be omitted). Writes stream through the fsync-per-batch WAL and the
+// run checkpoints on exit, so the next invocation replays nothing:
+//
+//	bqrun -dataset social -scale 0.25 -query q0.sql -data-dir /tmp/bcq -shards 4 -ingest 100000
+//	bqrun -query q0.sql -data-dir /tmp/bcq        # recovers, runs, checkpoints
 package main
 
 import (
@@ -46,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"sort"
 	"strings"
@@ -56,6 +68,7 @@ import (
 	"bcq/internal/engine"
 	"bcq/internal/plan"
 	"bcq/internal/querygen"
+	"bcq/internal/shard"
 )
 
 func main() {
@@ -67,27 +80,36 @@ func main() {
 	parallel := flag.Int("parallel", 1, "bounded-executor probe workers (1 = sequential)")
 	ingest := flag.Int("ingest", 0, "live mode: stream N inserts while queries run against pinned snapshots")
 	shards := flag.Int("shards", 1, "partition the store into P shards (1 = single store)")
+	dataDir := flag.String("data-dir", "", "durable store directory: seed it fresh or recover it, checkpoint on exit")
 	limit := flag.Int("limit", 0, "early termination: stop each query after N answers (0 = all), reporting the probes saved")
 	explain := flag.Bool("explain", false, "print each query's cost-based plan with estimated and actual per-step fetches")
 	trace := flag.Bool("trace", false, "run each query traced and print its span tree (prepare → waves → fetch/verify → shards)")
 	traceOut := flag.String("trace-out", "", "write each query's span tree as one JSON line to this file (implies tracing)")
 	verbose := flag.Bool("v", false, "print per-relation access breakdown and per-shard balance")
 	flag.Parse()
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
 
 	if err := run(config{
-		dataset:  *dataset,
-		scale:    *scale,
-		query:    *queryPath,
-		workload: *workload,
-		budget:   *budget,
-		parallel: *parallel,
-		ingest:   *ingest,
-		shards:   *shards,
-		limit:    *limit,
-		explain:  *explain,
-		trace:    *trace,
-		traceOut: *traceOut,
-		verbose:  *verbose,
+		dataset:   *dataset,
+		scale:     *scale,
+		query:     *queryPath,
+		workload:  *workload,
+		budget:    *budget,
+		parallel:  *parallel,
+		ingest:    *ingest,
+		shards:    *shards,
+		shardsSet: shardsSet,
+		dataDir:   *dataDir,
+		limit:     *limit,
+		explain:   *explain,
+		trace:     *trace,
+		traceOut:  *traceOut,
+		verbose:   *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bqrun:", err)
 		os.Exit(1)
@@ -96,19 +118,21 @@ func main() {
 
 // config carries the validated flag set.
 type config struct {
-	dataset  string
-	scale    float64
-	query    string
-	workload bool
-	budget   int64
-	parallel int
-	ingest   int
-	shards   int
-	limit    int
-	explain  bool
-	trace    bool
-	traceOut string
-	verbose  bool
+	dataset   string
+	scale     float64
+	query     string
+	workload  bool
+	budget    int64
+	parallel  int
+	ingest    int
+	shards    int
+	shardsSet bool
+	dataDir   string
+	limit     int
+	explain   bool
+	trace     bool
+	traceOut  string
+	verbose   bool
 
 	// traceW is the open -trace-out sink (set by run, not a flag).
 	traceW io.Writer
@@ -130,11 +154,11 @@ func (c config) validate() error {
 	if c.limit < 0 {
 		return fmt.Errorf("-limit %d: answer limit must be ≥ 0 (0 = all answers)", c.limit)
 	}
-	if c.limit > 0 && (c.shards > 1 || c.ingest > 0) {
-		return fmt.Errorf("-limit combines only with the static single-store mode (drop -shards/-ingest)")
+	if c.limit > 0 && (c.shards > 1 || c.ingest > 0 || c.dataDir != "") {
+		return fmt.Errorf("-limit combines only with the static single-store mode (drop -shards/-ingest/-data-dir)")
 	}
-	if c.traceOut != "" && (c.shards > 1 || c.ingest > 0) {
-		return fmt.Errorf("-trace-out combines only with the static single-store mode (drop -shards/-ingest)")
+	if c.traceOut != "" && (c.shards > 1 || c.ingest > 0 || c.dataDir != "") {
+		return fmt.Errorf("-trace-out combines only with the static single-store mode (drop -shards/-ingest/-data-dir)")
 	}
 	if c.scale <= 0 {
 		return fmt.Errorf("-scale %g: scale factor must be > 0", c.scale)
@@ -165,6 +189,15 @@ func run(c config) error {
 	if err != nil {
 		return err
 	}
+
+	if c.dataDir != "" {
+		queries, err := loadQueries(ds, c)
+		if err != nil {
+			return err
+		}
+		return runDurable(ds, queries, c)
+	}
+
 	fmt.Printf("building %s at scale %g ...\n", ds.Name, c.scale)
 	start := time.Now()
 	db, err := ds.Build(c.scale)
@@ -182,28 +215,9 @@ func run(c config) error {
 		c.traceW = f
 	}
 
-	var queries []*bcq.Query
-	switch {
-	case c.workload:
-		ws, err := querygen.Workload(ds, querygen.Seed)
-		if err != nil {
-			return err
-		}
-		for _, w := range ws {
-			queries = append(queries, w.Query)
-		}
-	case c.query != "":
-		src, err := os.ReadFile(c.query)
-		if err != nil {
-			return err
-		}
-		q, err := bcq.ParseQuery(string(src), ds.Catalog)
-		if err != nil {
-			return err
-		}
-		queries = append(queries, q)
-	default:
-		return fmt.Errorf("provide -query FILE or -workload")
+	queries, err := loadQueries(ds, c)
+	if err != nil {
+		return err
 	}
 
 	if c.shards > 1 {
@@ -248,6 +262,140 @@ func run(c config) error {
 	st := eng.Stats()
 	fmt.Printf("engine: %d prepares (%d planned, %d cache hits), %d executions\n",
 		st.Prepares, st.CacheMisses, st.CacheHits, st.Execs)
+	return nil
+}
+
+// loadQueries resolves -workload or -query into the query list.
+func loadQueries(ds *datagen.Dataset, c config) ([]*bcq.Query, error) {
+	switch {
+	case c.workload:
+		ws, err := querygen.Workload(ds, querygen.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var queries []*bcq.Query
+		for _, w := range ws {
+			queries = append(queries, w.Query)
+		}
+		return queries, nil
+	case c.query != "":
+		src, err := os.ReadFile(c.query)
+		if err != nil {
+			return nil, err
+		}
+		q, err := bcq.ParseQuery(string(src), ds.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		return []*bcq.Query{q}, nil
+	default:
+		return nil, fmt.Errorf("provide -query FILE or -workload")
+	}
+}
+
+// runDurable drives -data-dir mode: the store lives on disk as per-shard
+// WALs plus checkpoint segments. A directory that already holds a store
+// is recovered (the dataset flags then only supply the catalog; -shards
+// must agree with the manifest or stay unset); a fresh one is seeded
+// from -dataset/-scale. Queries execute through the scatter-gather
+// engine, -ingest streams through the fsync-per-batch commit pipeline,
+// and the run checkpoints on exit so the next open replays zero records.
+func runDurable(ds *datagen.Dataset, queries []*bcq.Query, c config) error {
+	var (
+		ss  *shard.Store
+		rec *shard.Recovery
+	)
+	if _, merr := shard.ReadManifest(c.dataDir); merr == nil {
+		if c.ingest > 0 {
+			// The duplicate stream sources tuples from the seeding run's
+			// base data, which a recovered store no longer carries.
+			return fmt.Errorf("-ingest needs a freshly seeded -data-dir; this one already holds a store (recovery-safe writes go through bqserve /ingest)")
+		}
+		want := 0 // accept the manifest's count unless -shards was given
+		if c.shardsSet {
+			want = c.shards
+		}
+		start := time.Now()
+		var err error
+		ss, rec, err = shard.Open(c.dataDir, ds.Catalog, ds.Access, shard.Options{Shards: want})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovered %s in %v: P = %d, |D| = %d tuples (%d WAL ops replayed, %d torn records dropped)\n",
+			c.dataDir, time.Since(start).Round(time.Millisecond), ss.NumShards(), ss.NumTuples(),
+			rec.ReplayedOps(), rec.TruncatedRecords())
+	} else if !errors.Is(merr, fs.ErrNotExist) {
+		return merr
+	} else {
+		fmt.Printf("building %s at scale %g ...\n", ds.Name, c.scale)
+		start := time.Now()
+		db, err := ds.Build(c.scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built |D| = %d tuples in %v\n", db.NumTuples(), time.Since(start).Round(time.Millisecond))
+		if ss, err = shard.New(db, ds.Access, shard.Options{Shards: c.shards, Dir: c.dataDir}); err != nil {
+			return err
+		}
+		fmt.Printf("seeded durable store %s: P = %d\n", c.dataDir, c.shards)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			ss.Close()
+		}
+	}()
+	fmt.Println()
+
+	eng, err := bcq.NewShardedEngine(ss, bcq.EngineOptions{Parallelism: c.parallel})
+	if err != nil {
+		return err
+	}
+
+	if c.ingest > 0 {
+		if err := runShardedIngest(eng, ss, queries, c.ingest); err != nil {
+			return err
+		}
+	} else {
+		for _, q := range queries {
+			prep, err := eng.PrepareQuery(q)
+			if err != nil {
+				var nebErr *plan.NotEffectivelyBoundedError
+				if errors.As(err, &nebErr) {
+					fmt.Printf("== %s: not effectively bounded; skipped in durable mode\n\n", q.Name)
+					continue
+				}
+				return err
+			}
+			if prep.NumParams() > 0 {
+				return fmt.Errorf("query %s has %d unbound placeholders; bqrun runs fully instantiated queries", q.Name, prep.NumParams())
+			}
+			start := time.Now()
+			res, err := prep.Exec()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== %s\n   durable:  %5d answers in %8v — fetched %d tuples (|D_Q| = %d, bound %s)\n\n",
+				q.Name, len(res.Tuples), time.Since(start).Round(time.Microsecond), res.Stats.TuplesFetched, res.DQSize, prep.FetchBound())
+			if c.explain {
+				fmt.Print(indentBlock(prep.Explain(res)))
+			}
+		}
+	}
+
+	if c.verbose {
+		printRelStats(ss.RelStats())
+		printShardStats(ss.ShardStats())
+	}
+	st := eng.Stats()
+	fmt.Printf("engine: %d prepares (%d planned, %d cache hits), %d executions\n",
+		st.Prepares, st.CacheMisses, st.CacheHits, st.Execs)
+
+	closed = true
+	if err := ss.Close(); err != nil {
+		return fmt.Errorf("closing durable store: %w", err)
+	}
+	fmt.Printf("checkpointed and closed %s\n", c.dataDir)
 	return nil
 }
 

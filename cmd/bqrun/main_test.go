@@ -107,6 +107,52 @@ func TestRunTraceOut(t *testing.T) {
 	}
 }
 
+// TestRunDurableCycle drives the -data-dir lifecycle: a fresh directory
+// is seeded (with -ingest streaming through the WAL commit pipeline and
+// a checkpoint on exit), a second run recovers it and re-answers the
+// query, and a -shards value that disagrees with the manifest is
+// rejected.
+func TestRunDurableCycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+
+	seed := cfg(func(c *config) {
+		c.shards, c.shardsSet = 3, true
+		c.dataDir = dir
+		c.ingest = 2_000
+		c.parallel = 2
+	})
+	if err := run(seed); err != nil {
+		t.Fatalf("seeding run: %v", err)
+	}
+	m, err := os.Stat(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil || m.Size() == 0 {
+		t.Fatalf("seeding run left no manifest: %v", err)
+	}
+
+	wrong := cfg(func(c *config) {
+		c.shards, c.shardsSet = 2, true
+		c.dataDir = dir
+	})
+	if err := run(wrong); err == nil {
+		t.Fatal("recovery with mismatched -shards was accepted")
+	}
+
+	// -shards unset: the manifest's count wins; queries and -v run
+	// against the recovered store and the run closes cleanly.
+	again := cfg(func(c *config) {
+		c.dataDir = dir
+		c.verbose = true
+	})
+	if err := run(again); err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+
+	// A recovered store has no seeding base to duplicate from.
+	if err := run(cfg(func(c *config) { c.dataDir = dir; c.ingest = 100 })); err == nil {
+		t.Fatal("-ingest into a recovered store was accepted")
+	}
+}
+
 func TestRunBadInputs(t *testing.T) {
 	if err := run(config{dataset: "nope", scale: 1, workload: true, parallel: 1, shards: 1}); err == nil {
 		t.Error("unknown dataset accepted")
@@ -132,6 +178,8 @@ func TestFlagValidation(t *testing.T) {
 		{"scale=0", func(c *config) { c.scale = 0 }},
 		{"trace-out+shards", func(c *config) { c.traceOut = "t.jsonl"; c.shards = 2 }},
 		{"trace-out+ingest", func(c *config) { c.traceOut = "t.jsonl"; c.ingest = 10 }},
+		{"trace-out+data-dir", func(c *config) { c.traceOut = "t.jsonl"; c.dataDir = "d" }},
+		{"limit+data-dir", func(c *config) { c.limit = 5; c.dataDir = "d" }},
 	}
 	for _, tc := range cases {
 		if err := run(cfg(tc.mut)); err == nil {

@@ -39,6 +39,18 @@
 // requests beyond that, rejects the rest with 503, and enforces a
 // per-request deadline (-timeout, or the request's timeout_ms).
 //
+// Durability is opt-in: -data-dir names a directory where every shard
+// keeps a write-ahead log (fsynced per committed batch) and checkpoint
+// segments. A fresh directory is seeded from -dataset/-scale; an
+// existing one is recovered — newest valid checkpoint plus WAL tail —
+// and the dataset flags are ignored for data. -shards must then match
+// the directory's manifest (omit it to accept the manifest's count).
+// SIGINT/SIGTERM shuts down gracefully: in-flight requests drain, open
+// cursors close, the store checkpoints and fsyncs, so a restart replays
+// zero WAL records.
+//
+//	bqserve -dataset social -scale 0.25 -data-dir /var/lib/bcq -shards 4
+//
 // Observability is opt-in: -metrics exposes every subsystem's counters,
 // gauges and latency histograms in Prometheus text format at GET
 // /metrics; -slow-query-log appends one JSON line per sampled slow query
@@ -64,11 +76,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bcq/internal/datagen"
@@ -84,6 +101,7 @@ func main() {
 	dataset := flag.String("dataset", "social", "dataset: social | tfacc | mot | tpch")
 	scale := flag.Float64("scale", 0.25, "scale factor")
 	shards := flag.Int("shards", 1, "partition the store into P shards (1 = single live store)")
+	dataDir := flag.String("data-dir", "", "durable store directory: WAL + checkpoint segments per shard; an existing store is recovered (dataset/scale only seed a fresh directory)")
 	parallel := flag.Int("parallel", 1, "bounded-executor probe workers per query")
 	workers := flag.Int("workers", 0, "concurrently executing requests (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max queued requests beyond the workers (0 = 8 x workers)")
@@ -107,11 +125,19 @@ func main() {
 	sloBurn := flag.Float64("slo-burn", obs.DefaultBurnThreshold, "degraded when both windows burn at least this many times the budget")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	flag.Parse()
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
 
 	srv, info, err := buildServer(config{
 		dataset:          *dataset,
 		scale:            *scale,
 		shards:           *shards,
+		shardsSet:        shardsSet,
+		dataDir:          *dataDir,
 		parallel:         *parallel,
 		workers:          *workers,
 		queue:            *queue,
@@ -151,7 +177,25 @@ func main() {
 	}
 	fmt.Println(info)
 	fmt.Printf("listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	// Graceful shutdown: SIGINT/SIGTERM drains the worker pool, closes
+	// open cursors, checkpoints and fsyncs the store's WALs
+	// (serve.Server.Shutdown), then stops the listener — so a restart
+	// replays zero WAL records.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Println("bqserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "bqserve: shutdown:", err)
+		}
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "bqserve:", err)
 		os.Exit(1)
 	}
@@ -162,6 +206,8 @@ type config struct {
 	dataset          string
 	scale            float64
 	shards           int
+	shardsSet        bool
+	dataDir          string
 	parallel         int
 	workers          int
 	queue            int
@@ -258,10 +304,6 @@ func buildServer(c config) (*serve.Server, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	db, err := ds.Build(c.scale)
-	if err != nil {
-		return nil, "", err
-	}
 
 	// Observability is assembled before the store so instrumentation is
 	// registered before any traffic: a registry when -metrics is set, a
@@ -316,10 +358,60 @@ func buildServer(c config) (*serve.Server, string, error) {
 	engOpts := engine.Options{Parallelism: c.parallel, Metrics: ob.Metrics, Recorder: ob.Traces}
 
 	var (
-		eng  *engine.Engine
-		kind string
+		eng    *engine.Engine
+		kind   string
+		tuples int64
 	)
-	if c.shards > 1 {
+	switch {
+	case c.dataDir != "":
+		// Durable store: recover an existing directory (the dataset's
+		// tuples already live there — -scale only seeds a fresh one) or
+		// create and seed it. A single-shard store uses the same layout
+		// with P = 1, so the directory stays openable either way.
+		var (
+			ss  *shard.Store
+			rec *shard.Recovery
+		)
+		if _, merr := shard.ReadManifest(c.dataDir); merr == nil {
+			want := 0 // accept the manifest's count unless -shards was given
+			if c.shardsSet {
+				want = c.shards
+			}
+			ss, rec, err = shard.Open(c.dataDir, ds.Catalog, ds.Access, shard.Options{Shards: want})
+			if err != nil {
+				return nil, "", err
+			}
+		} else if !errors.Is(merr, fs.ErrNotExist) {
+			return nil, "", merr
+		} else {
+			db, err := ds.Build(c.scale)
+			if err != nil {
+				return nil, "", err
+			}
+			ss, err = shard.New(db, ds.Access, shard.Options{Shards: c.shards, Dir: c.dataDir})
+			if err != nil {
+				return nil, "", err
+			}
+		}
+		ss.Instrument(ob.Metrics)
+		eng, err = engine.NewSharded(ss, engOpts)
+		if err != nil {
+			ss.Close()
+			return nil, "", err
+		}
+		opts.Ingest = ss.Apply
+		opts.Metrics = ss
+		opts.CloseStore = ss.Close
+		tuples = ss.NumTuples()
+		kind = fmt.Sprintf("durable store (P=%d, dir %s)", ss.NumShards(), c.dataDir)
+		if rec != nil && !rec.Fresh {
+			kind += fmt.Sprintf(", recovered: %d WAL ops replayed", rec.ReplayedOps())
+		}
+	case c.shards > 1:
+		db, err := ds.Build(c.scale)
+		if err != nil {
+			return nil, "", err
+		}
 		ss, err := shard.New(db, ds.Access, shard.Options{Shards: c.shards})
 		if err != nil {
 			return nil, "", err
@@ -331,8 +423,13 @@ func buildServer(c config) (*serve.Server, string, error) {
 		}
 		opts.Ingest = ss.Apply
 		opts.Metrics = ss
+		tuples = db.NumTuples()
 		kind = fmt.Sprintf("sharded store (P=%d)", c.shards)
-	} else {
+	default:
+		db, err := ds.Build(c.scale)
+		if err != nil {
+			return nil, "", err
+		}
 		ls, err := live.New(db, ds.Access, live.Options{})
 		if err != nil {
 			return nil, "", err
@@ -347,6 +444,7 @@ func buildServer(c config) (*serve.Server, string, error) {
 			return err
 		}
 		opts.Metrics = ls
+		tuples = db.NumTuples()
 		kind = "live store"
 	}
 	srv, err := serve.New(eng, opts)
@@ -354,6 +452,6 @@ func buildServer(c config) (*serve.Server, string, error) {
 		return nil, "", err
 	}
 	info := fmt.Sprintf("serving %s at scale %g over a %s: |D| = %d tuples, %d access constraints",
-		ds.Name, c.scale, kind, db.NumTuples(), ds.Access.Size())
+		ds.Name, c.scale, kind, tuples, ds.Access.Size())
 	return srv, info, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -145,6 +146,65 @@ func TestSlowLogTracesResolveEndToEnd(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || doc.IntervalMS <= 0 {
 		t.Fatalf("/debug/timeseries payload bad (err %v, interval %d)", err, doc.IntervalMS)
 	}
+}
+
+// TestDurableRestartCycle is the serving-layer acceptance path for the
+// durable tier: seed a fresh -data-dir, ingest over HTTP, shut down
+// gracefully, and restart — the write must be there and the restart must
+// have replayed zero WAL records (Shutdown checkpointed). A -shards
+// value that disagrees with the directory is rejected.
+func TestDurableRestartCycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	// shards stays at its flag default (1) with shardsSet false: on
+	// restart the manifest's count must win.
+	base := config{dataset: "social", scale: 1.0 / 32, shards: 1, parallel: 2, dataDir: dir}
+
+	first := base
+	first.shards, first.shardsSet = 2, true
+	srv, _, err := buildServer(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	code, body := postJSON(t, hs.URL+"/ingest",
+		`{"ops": [{"op": "insert", "rel": "friends", "tuple": [777777, 888888]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("/ingest: status %d: %s", code, body)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	hs.Close()
+
+	wrong := base
+	wrong.shards, wrong.shardsSet = 3, true
+	if _, _, err := buildServer(wrong); err == nil {
+		t.Fatal("restart with mismatched -shards was accepted")
+	}
+
+	srv2, info, err := buildServer(base) // -shards not set: manifest wins
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if !strings.Contains(info, "P=2") {
+		t.Errorf("restart info %q does not report the manifest's shard count", info)
+	}
+	if strings.Contains(info, "replayed") && !strings.Contains(info, "0 WAL ops replayed") {
+		t.Errorf("restart info %q reports WAL replay after a clean shutdown", info)
+	}
+	hs2 := httptest.NewServer(srv2.Handler())
+	code, body = postJSON(t, hs2.URL+"/query",
+		`{"query": "select friend_id from friends where user_id = ?", "args": [777777]}`)
+	if code != http.StatusOK {
+		t.Fatalf("/query after restart: status %d: %s", code, body)
+	}
+	if !strings.Contains(body, "888888") {
+		t.Fatalf("ingested tuple lost across restart: %s", body)
+	}
+	if err := srv2.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	hs2.Close()
 }
 
 func TestConfigValidation(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"bcq/internal/schema"
 	"bcq/internal/storage"
 	"bcq/internal/value"
+	"bcq/internal/wal"
 )
 
 // ExtendAccess widens the store's access schema with one more constraint
@@ -115,6 +116,16 @@ func (st *Store) publishExtension(ac schema.AccessConstraint, ext *extension) er
 		next.groups = gdiff
 		next.parent = cur
 		next.depth = cur.depth + 1
+	}
+
+	// Same commit pipeline as Apply: the extension is durable before its
+	// epoch publishes, so a recovered store re-extends itself by replay.
+	if st.w != nil {
+		rec := wal.Record{Kind: wal.RecExtension, Epoch: next.epoch,
+			Rel: ac.Rel, X: ac.X, Y: ac.Y, N: ac.N}
+		if err := st.w.Append(rec); err != nil {
+			return fmt.Errorf("live: wal append (extension): %w", err)
+		}
 	}
 
 	st.byKey = newByKey

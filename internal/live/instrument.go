@@ -37,4 +37,26 @@ func (st *Store) Instrument(reg *obs.Registry, labels ...obs.Label) {
 		}, labels...)
 	reg.GaugeFunc("bcq_store_tuples", "Live tuples currently visible.",
 		func() float64 { return float64(st.NumTuples()) }, labels...)
+
+	// Durability series, present only on durable stores. Scrape-time
+	// bridges over counters the WAL maintains anyway, so registering them
+	// costs the write path nothing.
+	if st.w != nil {
+		w := st.w
+		cf("bcq_wal_appends_total", "WAL records appended (fsynced commits).",
+			func() int64 { return w.Stats().Appends })
+		cf("bcq_wal_appended_bytes_total", "Bytes appended to the WAL.",
+			func() int64 { return w.Stats().AppendedBytes })
+		cf("bcq_wal_replayed_records_total", "WAL records replayed at the last open.",
+			func() int64 { return w.Stats().ReplayedRecords })
+		cf("bcq_wal_truncated_records_total", "Torn or corrupt WAL frames truncated at open.",
+			func() int64 { return w.Stats().TruncatedRecords })
+		reg.GaugeFunc("bcq_wal_size_bytes", "Current WAL file size.",
+			func() float64 { return float64(w.Stats().SizeBytes) }, labels...)
+		cf("bcq_segment_writes_total", "Checkpoint segments written.", st.segWrites.Load)
+		reg.GaugeFunc("bcq_segment_bytes", "Size of the newest checkpoint segment.",
+			func() float64 { return float64(st.segBytes.Load()) }, labels...)
+		reg.GaugeFunc("bcq_segment_epoch", "Epoch of the newest checkpoint segment.",
+			func() float64 { return float64(st.segEpoch.Load()) }, labels...)
+	}
 }

@@ -41,9 +41,11 @@ import (
 
 	"bcq/internal/obs"
 	"bcq/internal/schema"
+	"bcq/internal/segment"
 	"bcq/internal/stats"
 	"bcq/internal/storage"
 	"bcq/internal/value"
+	"bcq/internal/wal"
 )
 
 // Mode selects how a Store treats writes that would violate the access
@@ -76,6 +78,14 @@ func (m Mode) String() string {
 type Options struct {
 	// Mode is the violation policy (default Strict).
 	Mode Mode
+	// Dir, when non-empty, makes the store durable: admitted batches
+	// append to a write-ahead log in this directory before their epoch
+	// publishes, and Compact doubles as a checkpoint, writing the frozen
+	// base as a sealed segment file and truncating the log. New requires
+	// the directory to hold no prior store state — recover an existing
+	// directory with Open. Empty Dir is the purely in-memory store,
+	// bit-for-bit the pre-durability behavior.
+	Dir string
 }
 
 // ErrBound is the sentinel matched by errors.Is when a write is rejected
@@ -341,6 +351,14 @@ type Store struct {
 	// applySec, when instrumented (Instrument, before the store is
 	// shared), times each Apply batch.
 	applySec *obs.Histogram
+
+	// Durability state (nil w = in-memory store). w is written under mu;
+	// the segment gauges are atomic for lock-free metric bridges.
+	w         *wal.WAL
+	dir       string
+	segEpoch  atomic.Uint64
+	segBytes  atomic.Int64
+	segWrites atomic.Int64
 }
 
 // New builds a live store over a loaded database. The database's access
@@ -348,7 +366,28 @@ type Store struct {
 // sealing the base); the one-time bootstrap pass also records per-pair
 // multiplicities and tuple positions — the same cost class as index
 // construction, paid once so that every subsequent write is incremental.
+//
+// With Options.Dir set the store is durable: the base is written out as
+// the epoch-0 checkpoint segment and a write-ahead log is opened, so
+// every subsequent commit survives a crash. The directory must hold no
+// prior store state (use Open to recover one that does).
 func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store, error) {
+	st, err := newStore(base, acc, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Dir != "" {
+		if err := st.initDurable(opts.Dir, acc); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// newStore is New without the durability hooks: it builds the in-memory
+// store with its root snapshot at baseEpoch (0 for a fresh store, the
+// checkpoint epoch when Open resumes from a segment).
+func newStore(base *storage.Database, acc *schema.AccessSchema, opts Options, baseEpoch uint64) (*Store, error) {
 	if base == nil || acc == nil {
 		return nil, fmt.Errorf("live: base database and access schema are both required")
 	}
@@ -389,7 +428,7 @@ func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store
 		st.byKey[b.key] = b
 	}
 	size, total := st.bootstrap(base)
-	root := &Snapshot{st: st, base: base, size: size, numTuples: total, binds: st.byKey, acc: acc}
+	root := &Snapshot{st: st, base: base, epoch: baseEpoch, size: size, numTuples: total, binds: st.byKey, acc: acc}
 	st.cur.Store(root)
 	st.lastCommit.Store(time.Now().UnixNano())
 	return st, nil
@@ -448,6 +487,14 @@ func (st *Store) bootstrap(base *storage.Database) (size map[string]int64, total
 // an LSM compaction. Pinned pre-compaction snapshots stay fully valid:
 // each snapshot carries the base it overlays. Readers never block;
 // writers are paused for the duration (one pass over the live data).
+//
+// On a durable store Compact doubles as the checkpoint: the frozen base
+// is written as the sealed segment file of the published epoch — before
+// anything publishes, so a failed write leaves the store unchanged —
+// and the WAL is truncated once the epoch is out, every logged record
+// now being folded into the segment. The previous segment is retained
+// (two newest kept) so a checkpoint that later proves corrupt can fall
+// back one epoch and replay forward.
 func (st *Store) Compact() (uint64, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -456,12 +503,30 @@ func (st *Store) Compact() (uint64, error) {
 	if err != nil {
 		return cur.epoch, err
 	}
+	if st.w != nil {
+		info, err := segment.Write(st.dir, frozen, cur.acc, cur.epoch+1)
+		if err != nil {
+			return cur.epoch, fmt.Errorf("live: checkpoint: %w", err)
+		}
+		st.segEpoch.Store(info.Epoch)
+		st.segBytes.Store(info.Bytes)
+		st.segWrites.Add(1)
+	}
 	size, total := st.bootstrap(frozen)
 	next := &Snapshot{st: st, base: frozen, epoch: cur.epoch + 1, size: size, numTuples: total,
 		binds: st.byKey, acc: st.acc.Load()}
 	st.compactions.Add(1)
 	st.cur.Store(next)
 	st.lastCommit.Store(time.Now().UnixNano())
+	if st.w != nil {
+		if err := st.w.Reset(); err != nil {
+			// The checkpoint is published and correct; a failed truncate
+			// only leaves pre-checkpoint records behind, which replay
+			// skips by epoch. Surface the error anyway.
+			return next.epoch, fmt.Errorf("live: truncating wal after checkpoint: %w", err)
+		}
+		segment.Prune(st.dir, 2)
+	}
 	return next.epoch, nil
 }
 
@@ -698,6 +763,18 @@ func (st *Store) Apply(ops []Op) (uint64, error) {
 			return snap.epoch, err
 		}
 		tx.quarantined = append(tx.quarantined, Quarantined{Op: op, Err: err})
+	}
+	// Commit pipeline, in order: the batch validated above, its applied
+	// ops go to the WAL and are fsynced, and only then does the epoch
+	// publish. A crash between append and publish replays the record on
+	// reopen — the batch was durable, so it must take effect; a crash
+	// mid-append leaves a torn frame that recovery truncates — the batch
+	// never published, so it must not.
+	if st.w != nil && tx.nApplied > 0 {
+		rec := wal.Record{Kind: wal.RecBatch, Epoch: snap.epoch + 1, Ops: toWALOps(tx.applied)}
+		if err := st.w.Append(rec); err != nil {
+			return snap.epoch, fmt.Errorf("live: wal append: %w", err)
+		}
 	}
 	return st.commit(tx), nil
 }

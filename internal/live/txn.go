@@ -38,6 +38,10 @@ type txn struct {
 	cardDelta map[string]map[string]int64
 	// quarantined collects Permissive-mode refusals, merged on commit.
 	quarantined []Quarantined
+	// applied records the ops that took effect, in order — the WAL logs
+	// exactly these (never quarantined ones), so replaying them through
+	// Apply is deterministic and never re-rejects.
+	applied []Op
 	// nApplied counts ops that took effect.
 	nApplied int64
 }
@@ -199,6 +203,7 @@ func (tx *txn) insert(op Op) error {
 		tx.bumpPair(b.key, pk, +1, pos)
 	}
 	tx.addedNew[op.Rel] = append(tx.addedNew[op.Rel], t)
+	tx.applied = append(tx.applied, op)
 	tx.nApplied++
 	return nil
 }
@@ -257,6 +262,7 @@ func (tx *txn) delete(op Op) error {
 		tx.delNew[op.Rel] = m
 	}
 	m[pos] = true
+	tx.applied = append(tx.applied, op)
 	tx.nApplied++
 	return nil
 }

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package segment
+
+import "os"
+
+// mapFile reads the whole file on platforms without the unix mmap
+// syscall surface.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. Segments are immutable once renamed
+// into place, so a shared read-only mapping is safe; release unmaps it.
+// Empty files fall back to an empty slice (mmap rejects length 0).
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support: fall back to a plain read.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return data, func() {}, nil
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

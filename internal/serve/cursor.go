@@ -125,6 +125,19 @@ func (c *cursorRegistry) claim(token string) *cursorState {
 	return st
 }
 
+// closeAll closes every registered cursor and releases the snapshots
+// they pin — the shutdown path. Tokens presented afterwards answer 410,
+// which is the contract expired cursors already have.
+func (c *cursorRegistry) closeAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for tok, e := range c.entries {
+		e.stream.Close()
+		delete(c.entries, tok)
+	}
+	c.order = nil
+}
+
 // open reports the number of cursors currently registered.
 func (c *cursorRegistry) open() int {
 	c.mu.Lock()

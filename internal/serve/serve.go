@@ -89,6 +89,10 @@ type Options struct {
 	// (engine.Options.Metrics) and the store (live/shard Instrument) so
 	// one scrape covers the whole pipeline. Nil disables all of it.
 	Obs *obs.Observer
+	// CloseStore checkpoints and closes the store during Shutdown: wire
+	// live.Store.Close or shard.Store.Close here. Nil means the store
+	// needs no closing (in-memory or sealed).
+	CloseStore func() error
 }
 
 // DefaultResultCacheSize is the result-cache capacity when Options
@@ -112,6 +116,10 @@ type Server struct {
 	// waiting counts requests holding-or-awaiting a slot; the admission
 	// bound is workers + maxQueue.
 	waiting atomic.Int64
+	// closed flips once in Shutdown: new work is rejected 503 while
+	// in-flight executions drain. closeStore then checkpoints the store.
+	closed     atomic.Bool
+	closeStore func() error
 
 	queries   atomic.Int64
 	ingests   atomic.Int64
@@ -151,15 +159,16 @@ func New(eng *engine.Engine, opts Options) (*Server, error) {
 		timeout = 5 * time.Second
 	}
 	s := &Server{
-		eng:      eng,
-		ingest:   opts.Ingest,
-		metrics:  opts.Metrics,
-		obs:      opts.Obs,
-		workers:  workers,
-		maxQueue: maxQueue,
-		timeout:  timeout,
-		sem:      make(chan struct{}, workers),
-		cursors:  newCursorRegistry(opts.CursorCap, opts.CursorTTL),
+		eng:        eng,
+		ingest:     opts.Ingest,
+		metrics:    opts.Metrics,
+		obs:        opts.Obs,
+		closeStore: opts.CloseStore,
+		workers:    workers,
+		maxQueue:   maxQueue,
+		timeout:    timeout,
+		sem:        make(chan struct{}, workers),
+		cursors:    newCursorRegistry(opts.CursorCap, opts.CursorTTL),
 	}
 	switch {
 	case opts.ResultCacheSize < 0:
@@ -204,11 +213,57 @@ func (s *Server) CacheStats() CacheStats {
 	return s.cache.stats()
 }
 
-// errOverloaded and errDeadline classify admission failures.
+// errOverloaded, errDeadline and errShutdown classify admission
+// failures.
 var (
 	errOverloaded = errors.New("serve: queue full")
 	errDeadline   = errors.New("serve: deadline exceeded")
+	errShutdown   = errors.New("serve: shutting down")
 )
+
+// rejectAdmission writes the HTTP response for a failed acquire.
+func (s *Server) rejectAdmission(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errShutdown):
+		apiError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, errOverloaded):
+		apiError(w, http.StatusServiceUnavailable, "overloaded: %d requests in flight or queued", s.workers+s.maxQueue)
+	default:
+		apiError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+	}
+}
+
+// Shutdown drains the server and closes the store: new executions are
+// rejected 503 immediately, in-flight requests run to completion (their
+// worker slots are reacquired one by one, bounded by ctx), open
+// pagination cursors are closed so the snapshots they pin release, and
+// finally the CloseStore hook checkpoints and closes the store — after
+// which a reopen replays zero WAL records. Safe to call more than once;
+// later calls return nil without re-closing. Even when ctx expires
+// mid-drain the store is still closed: every committed batch is already
+// fsynced in the WAL, so cutting the drain short can cost a checkpoint,
+// never data.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var drainErr error
+	for i := 0; i < s.workers; i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			drainErr = fmt.Errorf("serve: drain cut short: %w", ctx.Err())
+			i = s.workers // stop draining, still close below
+		}
+	}
+	s.cursors.closeAll()
+	if s.closeStore != nil {
+		if err := s.closeStore(); err != nil {
+			return errors.Join(drainErr, err)
+		}
+	}
+	return drainErr
+}
 
 // acquire admits a request into the worker pool: immediately rejected
 // when queued-plus-executing requests already fill workers + maxQueue,
@@ -216,6 +271,10 @@ var (
 // caller owns one semaphore slot and one admission count; release both
 // through release.
 func (s *Server) acquire(ctx context.Context) error {
+	if s.closed.Load() {
+		s.overloads.Add(1)
+		return errShutdown
+	}
 	if s.waiting.Add(1) > int64(s.workers+s.maxQueue) {
 		s.waiting.Add(-1)
 		s.overloads.Add(1)
@@ -291,11 +350,7 @@ func (s *Server) runOnWorker(w http.ResponseWriter, r *http.Request, timeoutMS i
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(timeoutMS))
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		if errors.Is(err, errOverloaded) {
-			apiError(w, http.StatusServiceUnavailable, "overloaded: %d requests in flight or queued", s.workers+s.maxQueue)
-		} else {
-			apiError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
-		}
+		s.rejectAdmission(w, err)
 		return
 	}
 	outCh := make(chan handlerResult, 1)
@@ -475,11 +530,7 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, req queryRequ
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		if errors.Is(err, errOverloaded) {
-			apiError(w, http.StatusServiceUnavailable, "overloaded: %d requests in flight or queued", s.workers+s.maxQueue)
-		} else {
-			apiError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
-		}
+		s.rejectAdmission(w, err)
 		return
 	}
 	defer s.release()

@@ -1,0 +1,337 @@
+package shard_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"bcq/internal/live"
+	"bcq/internal/schema"
+	"bcq/internal/shard"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+func tup(vals ...string) value.Tuple {
+	tu := make(value.Tuple, len(vals))
+	for i, v := range vals {
+		tu[i] = str(v)
+	}
+	return tu
+}
+
+// shardBatches is the durable tests' write workload over the scene
+// schema: inserts and deletes across all three (partitioned) relations.
+func shardBatches() [][]live.Op {
+	return [][]live.Op{
+		{live.Insert("in_album", tup("n1", "a0")), live.Insert("friends", tup("u0", "u9"))},
+		{live.Insert("tagging", tup("n1", "u1", "u2")), live.Delete("in_album", tup("a0p0", "a0"))},
+		{live.Delete("friends", tup("u1", "u2")), live.Insert("in_album", tup("n2", "a3"))},
+		{live.Insert("in_album", tup("n3", "a1"))},
+	}
+}
+
+// assertSameShardState asserts two sharded stores expose identical data,
+// shard by shard: per-shard per-relation tuples in live order, merged
+// cardinality statistics, schema and tuple count. checkEpochs also
+// compares the epoch vectors — valid when neither side checkpointed
+// (checkpoints publish epochs the other side may not have).
+func assertSameShardState(t *testing.T, got, want *shard.Store, checkEpochs bool) {
+	t.Helper()
+	if got.NumShards() != want.NumShards() {
+		t.Fatalf("NumShards = %d, want %d", got.NumShards(), want.NumShards())
+	}
+	if checkEpochs {
+		if gk, wk := got.EpochKey(), want.EpochKey(); gk != wk {
+			t.Fatalf("EpochKey = %s, want %s", gk, wk)
+		}
+	}
+	if gn, wn := got.NumTuples(), want.NumTuples(); gn != wn {
+		t.Fatalf("NumTuples = %d, want %d", gn, wn)
+	}
+	if !reflect.DeepEqual(got.CardStats(), want.CardStats()) {
+		t.Fatalf("CardStats differ:\n got %+v\nwant %+v", got.CardStats(), want.CardStats())
+	}
+	if gs, ws := got.Access().String(), want.Access().String(); gs != ws {
+		t.Fatalf("Access = %s, want %s", gs, ws)
+	}
+	for s := 0; s < want.NumShards(); s++ {
+		gSnap, wSnap := got.Shard(s).Snapshot(), want.Shard(s).Snapshot()
+		for _, rs := range want.Catalog().Relations() {
+			var gt, wt []value.Tuple
+			if err := gSnap.Scan(rs.Name(), func(pos int, tu value.Tuple) bool {
+				gt = append(gt, tu)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := wSnap.Scan(rs.Name(), func(pos int, tu value.Tuple) bool {
+				wt = append(wt, tu)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(gt) != len(wt) {
+				t.Fatalf("shard %d %s: %d live tuples, want %d", s, rs.Name(), len(gt), len(wt))
+			}
+			for i := range wt {
+				if !gt[i].Equal(wt[i]) {
+					t.Fatalf("shard %d %s[%d] = %s, want %s", s, rs.Name(), i, gt[i], wt[i])
+				}
+			}
+		}
+	}
+}
+
+// refShardStore builds the in-memory reference that applied the first n
+// workload batches.
+func refShardStore(t *testing.T, p, n int) *shard.Store {
+	t.Helper()
+	_, acc, db := scene(t, 4, 4)
+	ref, err := shard.New(db, acc, shard.Options{Shards: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range shardBatches()[:n] {
+		if err := ref.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref
+}
+
+func TestShardDurableCrashReplaysTail(t *testing.T) {
+	dir := t.TempDir()
+	cat, acc, db := scene(t, 4, 4)
+	ss, err := shard.New(db, acc, shard.Options{Shards: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := shardBatches()
+	for _, b := range batches {
+		if err := ss.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon without Close: the crash case. Every shard must replay its
+	// committed sub-batches from its own WAL.
+	re, rec, err := shard.Open(dir, cat, acc, shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer re.Close()
+	var wantOps int64
+	for _, b := range batches {
+		wantOps += int64(len(b))
+	}
+	if rec.ReplayedOps() != wantOps {
+		t.Fatalf("replayed %d ops across shards, want %d", rec.ReplayedOps(), wantOps)
+	}
+	// No checkpoint ran on either side, so even the epoch vectors match:
+	// each shard's recovered epoch is exactly its committed sub-batch
+	// count.
+	assertSameShardState(t, re, refShardStore(t, 3, len(batches)), true)
+}
+
+func TestShardDurableCleanShutdownReplaysNothing(t *testing.T) {
+	dir := t.TempDir()
+	cat, acc, db := scene(t, 4, 4)
+	ss, err := shard.New(db, acc, shard.Options{Shards: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := shardBatches()
+	for _, b := range batches {
+		if err := ss.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	re, rec, err := shard.Open(dir, cat, acc, shard.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer re.Close()
+	if re.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2 from the manifest", re.NumShards())
+	}
+	if rec.ReplayedOps() != 0 {
+		t.Fatalf("clean shutdown replayed %d ops", rec.ReplayedOps())
+	}
+	for s, pr := range rec.PerShard {
+		if len(pr.ReplayedBatches) != 0 || pr.ReplayedExtensions != 0 {
+			t.Fatalf("shard %d replayed work after clean shutdown: %+v", s, pr)
+		}
+	}
+	// Close checkpointed some shards (epoch bumps the in-memory reference
+	// does not have), so compare content, not epochs.
+	assertSameShardState(t, re, refShardStore(t, 2, len(batches)), false)
+}
+
+func TestShardOpenValidatesShardCount(t *testing.T) {
+	dir := t.TempDir()
+	cat, acc, db := scene(t, 4, 4)
+	ss, err := shard.New(db, acc, shard.Options{Shards: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := shard.Open(dir, cat, acc, shard.Options{Shards: 2}); !errors.Is(err, shard.ErrShardMismatch) {
+		t.Fatalf("Open with wrong shard count = %v, want ErrShardMismatch", err)
+	}
+	re, _, err := shard.Open(dir, cat, acc, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", re.NumShards())
+	}
+}
+
+func TestShardOpenFreshDirectory(t *testing.T) {
+	dir := t.TempDir()
+	cat, acc, _ := scene(t, 4, 4)
+	ss, rec, err := shard.Open(dir, cat, acc, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("Open on fresh dir: %v", err)
+	}
+	if !rec.Fresh {
+		t.Fatal("fresh open not reported as fresh")
+	}
+	if err := ss.Apply(shardBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, rec2, err := shard.Open(dir, cat, acc, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if rec2.Fresh {
+		t.Fatal("second open reported fresh")
+	}
+	if re.NumTuples() != 2 {
+		t.Fatalf("NumTuples = %d, want 2", re.NumTuples())
+	}
+}
+
+// TestShardManifestRecordsPlacements pins the on-disk placement rules:
+// partitioned relations persist their shard key, constraint-less ones
+// their round-robin rule, and a reopened store routes with them rather
+// than re-deriving (which a widened schema could skew).
+func TestShardManifestRecordsPlacements(t *testing.T) {
+	const ddl = `
+relation r(a, b, c)
+relation events(msg)
+
+constraint r: (a) -> (b, 100)
+`
+	cat, acc, err := schema.ParseDDL(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ss, err := shard.New(storage.NewDatabase(cat), acc, shard.Options{Shards: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []live.Op{
+		live.Insert("r", tup("a1", "b1", "c1")),
+		live.Insert("events", tup("e1")),
+		live.Insert("events", tup("e2")),
+		live.Insert("events", tup("e3")),
+	}
+	if err := ss.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := shard.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 3 {
+		t.Fatalf("manifest shards = %d, want 3", m.Shards)
+	}
+	if mp := m.Placements["r"]; mp.Kind != "partitioned" || len(mp.Key) != 1 || mp.Key[0] != "a" {
+		t.Fatalf("r placement = %+v, want partitioned by (a)", mp)
+	}
+	if mp := m.Placements["events"]; mp.Kind != "round-robin" {
+		t.Fatalf("events placement = %+v, want round-robin", mp)
+	}
+
+	re, _, err := shard.Open(dir, cat, acc, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got, _ := re.PlacementOf("r"); got != "partitioned by (a)" {
+		t.Fatalf("recovered placement of r = %q", got)
+	}
+	if re.NumTuples() != int64(len(ops)) {
+		t.Fatalf("NumTuples = %d, want %d", re.NumTuples(), len(ops))
+	}
+}
+
+// TestShardOpenHealsExtensionTear simulates a crash between an
+// extension's per-shard commits (shard 0 committed, the rest did not):
+// Open must converge every shard back to the union schema.
+func TestShardOpenHealsExtensionTear(t *testing.T) {
+	const ddl = `
+relation r(a, b, c)
+
+constraint r: (a) -> (b, 100)
+`
+	cat, acc, err := schema.ParseDDL(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ss, err := shard.New(storage.NewDatabase(cat), acc, shard.Options{Shards: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Apply([]live.Op{
+		live.Insert("r", tup("a1", "b1", "c1")),
+		live.Insert("r", tup("a2", "b2", "c2")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The extension's X contains r's shard key (a), so it is placement
+	// compatible. Committing it on shard 0 only reproduces the torn state
+	// a crash mid-ExtendAccess leaves behind.
+	ext := schema.MustAccessConstraint("r", []string{"a", "b"}, []string{"c"}, 50)
+	if err := ss.Shard(0).ExtendAccess(ext); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _, err := shard.Open(dir, cat, acc, shard.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer re.Close()
+	if re.Access().Size() != 2 {
+		t.Fatalf("recovered schema has %d constraints, want 2 (healed)", re.Access().Size())
+	}
+	for s := 0; s < re.NumShards(); s++ {
+		if re.Shard(s).Access().Size() != 2 {
+			t.Fatalf("shard %d schema has %d constraints, want 2", s, re.Shard(s).Access().Size())
+		}
+	}
+	// The healed constraint routes: probing it is now legal store-wide.
+	if err := re.Apply([]live.Op{live.Insert("r", tup("a3", "b3", "c3"))}); err != nil {
+		t.Fatal(err)
+	}
+}

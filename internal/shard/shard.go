@@ -53,6 +53,8 @@ package shard
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -66,11 +68,19 @@ import (
 
 // Options tunes a sharded store.
 type Options struct {
-	// Shards is the partition count P (≥ 1).
+	// Shards is the partition count P (≥ 1). Open accepts 0 to mean
+	// "whatever the directory's manifest says".
 	Shards int
 	// Mode is the per-shard live stores' violation policy (default
 	// live.Strict).
 	Mode live.Mode
+	// Dir, when non-empty, makes the store durable: each shard keeps a
+	// write-ahead log and checkpoint segments in its own subdirectory
+	// (shard-000, shard-001, …) and a manifest at the root records the
+	// shard count and the placement of every relation. New requires the
+	// directory to hold no prior sharded store; use Open to recover one.
+	// Empty Dir keeps the store fully in-memory.
+	Dir string
 }
 
 // placementKind says how a relation's tuples are distributed.
@@ -115,7 +125,8 @@ type Store struct {
 	cat  *schema.Catalog
 	base *storage.Database
 	mode live.Mode
-	p    int // partition count, fixed before the shards exist
+	p    int    // partition count, fixed before the shards exist
+	dir  string // durable root directory ("" for in-memory stores)
 
 	shards []*live.Store
 	place  map[string]*placement
@@ -167,6 +178,14 @@ func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store
 		rrNext: make(map[string]int),
 	}
 	P := opts.Shards
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(filepath.Join(opts.Dir, manifestFileName)); err == nil {
+			return nil, fmt.Errorf("shard: %s already holds a sharded store; recover it with Open", opts.Dir)
+		}
+	}
 
 	// Derive placements and probe routes.
 	for _, rs := range cat.Relations() {
@@ -177,19 +196,9 @@ func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store
 		st.place[rs.Name()] = pl
 	}
 	for _, ac := range acc.Constraints() {
-		pl := st.place[ac.Rel]
-		rt := &route{rel: ac.Rel, pinnedTo: -1}
-		switch pl.kind {
-		case pinned:
-			rt.pinnedTo = pl.home
-		case partitioned:
-			pos, err := positionsIn(pl.key, ac.X)
-			if err != nil {
-				return nil, fmt.Errorf("shard: constraint %s: %w", ac, err)
-			}
-			rt.keyInX = pos
-		default:
-			return nil, fmt.Errorf("shard: constraint %s on round-robin relation %s (placement bug)", ac, ac.Rel)
+		rt, err := st.buildRoute(ac)
+		if err != nil {
+			return nil, err
 		}
 		st.routes[ac.Key()] = rt
 	}
@@ -213,13 +222,52 @@ func New(base *storage.Database, acc *schema.AccessSchema, opts Options) (*Store
 	}
 	st.shards = make([]*live.Store, P)
 	for s := range dbs {
-		ls, err := live.New(dbs[s], acc, live.Options{Mode: opts.Mode})
+		lopts := live.Options{Mode: opts.Mode}
+		if opts.Dir != "" {
+			lopts.Dir = filepath.Join(opts.Dir, shardDirName(s))
+		}
+		ls, err := live.New(dbs[s], acc, lopts)
 		if err != nil {
+			closeAll(st.shards[:s])
 			return nil, fmt.Errorf("shard: building shard %d: %w", s, err)
 		}
 		st.shards[s] = ls
 	}
+	// The manifest is written LAST: its presence certifies that every
+	// shard directory below it was fully initialized, so Open can treat a
+	// manifest-less directory holding shard state as a creation crash.
+	if opts.Dir != "" {
+		if err := writeManifest(opts.Dir, st.manifest()); err != nil {
+			closeAll(st.shards)
+			return nil, fmt.Errorf("shard: writing manifest: %w", err)
+		}
+		st.dir = opts.Dir
+	}
 	return st, nil
+}
+
+// buildRoute precomputes how a constraint's probes find their shard under
+// the store's placements.
+func (st *Store) buildRoute(ac schema.AccessConstraint) (*route, error) {
+	pl, ok := st.place[ac.Rel]
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown relation %s", ac.Rel)
+	}
+	rt := &route{rel: ac.Rel, pinnedTo: -1}
+	switch pl.kind {
+	case pinned:
+		rt.pinnedTo = pl.home
+	case partitioned:
+		pos, err := positionsIn(pl.key, ac.X)
+		if err != nil {
+			return nil, fmt.Errorf("shard: constraint %s does not contain relation %s's shard key (%s): %w",
+				ac, ac.Rel, strings.Join(pl.key, ", "), err)
+		}
+		rt.keyInX = pos
+	default:
+		return nil, fmt.Errorf("shard: cannot route constraint %s: relation %s's tuples are spread round-robin with no shard key; rebuild the store with the wider schema", ac, ac.Rel)
+	}
+	return rt, nil
 }
 
 // derivePlacement picks a relation's distribution rule: partition by the
@@ -614,23 +662,9 @@ func (st *Store) ExtendAccess(ac schema.AccessConstraint) error {
 	if _, ok := st.routes[ac.Key()]; ok {
 		return nil
 	}
-	pl, ok := st.place[ac.Rel]
-	if !ok {
-		return fmt.Errorf("shard: unknown relation %s", ac.Rel)
-	}
-	rt := &route{rel: ac.Rel, pinnedTo: -1}
-	switch pl.kind {
-	case pinned:
-		rt.pinnedTo = pl.home
-	case partitioned:
-		pos, err := positionsIn(pl.key, ac.X)
-		if err != nil {
-			return fmt.Errorf("shard: constraint %s does not contain relation %s's shard key (%s): %w",
-				ac, ac.Rel, strings.Join(pl.key, ", "), err)
-		}
-		rt.keyInX = pos
-	default:
-		return fmt.Errorf("shard: cannot extend constraint-less relation %s: its tuples are spread round-robin with no shard key; rebuild the store with the wider schema", ac.Rel)
+	rt, err := st.buildRoute(ac)
+	if err != nil {
+		return err
 	}
 
 	// Two-phase: stage (validate) every shard before committing any.

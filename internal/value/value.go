@@ -179,3 +179,35 @@ func (v Value) AppendKey(dst []byte) []byte {
 		return append(dst, v.s...)
 	}
 }
+
+// DecodeValue decodes the first value of an AppendKey encoding and returns it
+// together with the remaining bytes. The WAL and segment file formats use the
+// AppendKey encoding on disk, so durable state round-trips through exactly the
+// bytes the in-memory index keys use.
+func DecodeValue(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Null, nil, fmt.Errorf("value: decode on empty input")
+	}
+	switch b[0] {
+	case 0x00:
+		return Null, b[1:], nil
+	case 0x01:
+		if len(b) < 9 {
+			return Null, nil, fmt.Errorf("value: truncated int encoding (%d bytes)", len(b))
+		}
+		u := uint64(b[1])<<56 | uint64(b[2])<<48 | uint64(b[3])<<40 | uint64(b[4])<<32 |
+			uint64(b[5])<<24 | uint64(b[6])<<16 | uint64(b[7])<<8 | uint64(b[8])
+		return Int(int64(u)), b[9:], nil
+	case 0x02:
+		if len(b) < 5 {
+			return Null, nil, fmt.Errorf("value: truncated string header (%d bytes)", len(b))
+		}
+		n := int(b[1])<<24 | int(b[2])<<16 | int(b[3])<<8 | int(b[4])
+		if n < 0 || len(b) < 5+n {
+			return Null, nil, fmt.Errorf("value: truncated string payload (want %d, have %d)", n, len(b)-5)
+		}
+		return Str(string(b[5 : 5+n])), b[5+n:], nil
+	default:
+		return Null, nil, fmt.Errorf("value: unknown encoding tag 0x%02x", b[0])
+	}
+}

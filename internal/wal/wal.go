@@ -1,0 +1,354 @@
+// Package wal implements the per-store write-ahead log that makes live
+// ingestion durable. Every admitted batch (and every runtime access-schema
+// extension) is appended as one length-prefixed, CRC-framed record and
+// fsynced before the store publishes the epoch that contains it — so a
+// record's presence in the log is exactly the commit point, and replaying
+// the log through the normal admission path reconstructs the committed
+// prefix byte-for-byte.
+//
+// File layout:
+//
+//	"BCQWAL1\n"                                  8-byte file magic
+//	repeated records:
+//	  u32 payload length | u32 CRC-32C(payload) | payload
+//
+// Open replays the log and stops at the first frame that is torn (short)
+// or fails its checksum; everything after the last valid record is
+// truncated away, which is the only correct reading of a tail written by
+// a crashed process. Records carry the epoch their commit published, so
+// replay can skip records already folded into a checkpoint segment and
+// detect continuity gaps (a lost checkpoint) instead of replaying stale
+// records onto the wrong base.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"bcq/internal/value"
+)
+
+// OpKind mirrors live.OpKind without importing it (live depends on wal,
+// not the other way round).
+type OpKind uint8
+
+const (
+	// OpInsert adds a tuple.
+	OpInsert OpKind = iota
+	// OpDelete removes a tuple.
+	OpDelete
+)
+
+// Op is one logged mutation. Only ops that were actually applied are
+// logged (Permissive-mode quarantined ops are not), so replay through the
+// admission path is deterministic and never re-rejects.
+type Op struct {
+	Kind  OpKind
+	Rel   string
+	Tuple value.Tuple
+}
+
+// RecordKind tags the two record payloads.
+type RecordKind uint8
+
+const (
+	// RecBatch is an admitted Apply batch.
+	RecBatch RecordKind = 1
+	// RecExtension is a runtime access-schema extension.
+	RecExtension RecordKind = 2
+)
+
+// Record is one framed log entry. Epoch is the snapshot epoch the commit
+// published — the checkpoint/replay bookkeeping keys off it.
+type Record struct {
+	Kind  RecordKind
+	Epoch uint64
+
+	// RecBatch payload.
+	Ops []Op
+
+	// RecExtension payload: the constraint rel(X -> Y, N) in the
+	// normalized form schema.NewAccessConstraint accepts.
+	Rel  string
+	X, Y []string
+	N    int64
+}
+
+const (
+	fileMagic   = "BCQWAL1\n"
+	headerSize  = len(fileMagic)
+	frameHeader = 8 // u32 length + u32 crc
+	// maxRecordBytes bounds a frame's declared payload so a corrupt
+	// length field can't drive a giant allocation.
+	maxRecordBytes = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrInjectedCrash is returned by Append when an armed fail point fires:
+// the frame was deliberately left torn on disk and not fsynced, emulating
+// a crash mid-commit. Tests reopen the directory afterwards and assert
+// recovery lands on the committed prefix.
+var ErrInjectedCrash = errors.New("wal: injected crash (torn append)")
+
+// Stats is a snapshot of the log's counters, bridged into the bcq_wal_*
+// metrics series.
+type Stats struct {
+	Appends          int64
+	AppendedBytes    int64
+	SizeBytes        int64
+	ReplayedRecords  int64
+	TruncatedRecords int64
+}
+
+// WAL is an append-only log over a single file. Appends are serialized by
+// the owning store's writer mutex; the internal mutex only guards against
+// misuse.
+type WAL struct {
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	closed bool
+
+	appends       atomic.Int64
+	appendedBytes atomic.Int64
+	sizeBytes     atomic.Int64
+	replayed      atomic.Int64
+	truncated     atomic.Int64
+
+	// Fail-point state: when failAfter > 0, the failAfter-th subsequent
+	// Append writes only failTorn bytes of its frame and returns
+	// ErrInjectedCrash.
+	failAfter int
+	failTorn  int
+}
+
+// Open opens (creating if absent) the log at path, replays every valid
+// record, truncates any torn or corrupt tail, and returns the log
+// positioned for appends together with the decoded records in append
+// order.
+func Open(path string) (*WAL, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	w := &WAL{path: path, f: f}
+	if len(data) < headerSize {
+		// Empty or torn at creation (the header write itself crashed):
+		// no record can exist yet, start the file over.
+		if err := w.reinit(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.sizeBytes.Store(w.size)
+		return w, nil, nil
+	}
+	if string(data[:headerSize]) != fileMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %s is not a WAL file (bad magic)", path)
+	}
+	var records []Record
+	off := headerSize
+	valid := off
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			w.truncated.Add(1)
+			break
+		}
+		length := int(be32(rest[0:4]))
+		crc := be32(rest[4:8])
+		if length > maxRecordBytes || len(rest) < frameHeader+length {
+			w.truncated.Add(1)
+			break
+		}
+		payload := rest[frameHeader : frameHeader+length]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			w.truncated.Add(1)
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// CRC-valid but undecodable: treat like corruption — stop
+			// at the last good record rather than guessing.
+			w.truncated.Add(1)
+			break
+		}
+		records = append(records, rec)
+		off += frameHeader + length
+		valid = off
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.size = int64(valid)
+	w.sizeBytes.Store(w.size)
+	w.replayed.Store(int64(len(records)))
+	return w, records, nil
+}
+
+// reinit rewrites the file header from scratch (empty file or torn
+// creation).
+func (w *WAL) reinit() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteString(fileMagic); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = int64(headerSize)
+	return nil
+}
+
+// Append frames, writes, and fsyncs one record. It returns only after the
+// record is durable — the caller publishes the epoch afterwards, which is
+// what makes the log a write-AHEAD log.
+func (w *WAL) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: append on closed log %s", w.path)
+	}
+	payload := rec.encode()
+	frame := make([]byte, 0, frameHeader+len(payload))
+	frame = appendBE32(frame, uint32(len(payload)))
+	frame = appendBE32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+
+	if w.failAfter > 0 {
+		w.failAfter--
+		if w.failAfter == 0 {
+			torn := w.failTorn
+			if torn > len(frame) {
+				torn = len(frame)
+			}
+			// Write the torn prefix without fsync: exactly what a crash
+			// mid-write leaves behind.
+			if _, err := w.f.Write(frame[:torn]); err != nil {
+				return err
+			}
+			w.size += int64(torn)
+			w.sizeBytes.Store(w.size)
+			return ErrInjectedCrash
+		}
+	}
+
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append to %s: %w", w.path, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", w.path, err)
+	}
+	w.size += int64(len(frame))
+	w.sizeBytes.Store(w.size)
+	w.appends.Add(1)
+	w.appendedBytes.Add(int64(len(frame)))
+	return nil
+}
+
+// Reset truncates the log back to its header. The store calls it right
+// after a checkpoint segment has been published: every logged record is
+// now folded into the segment, so the log restarts empty.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: reset on closed log %s", w.path)
+	}
+	if err := w.f.Truncate(int64(headerSize)); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(headerSize), io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = int64(headerSize)
+	w.sizeBytes.Store(w.size)
+	return nil
+}
+
+// HasRecords reports whether the log currently holds any records (i.e.
+// there is anything a reopen would replay).
+func (w *WAL) HasRecords() bool {
+	return w.sizeBytes.Load() > int64(headerSize)
+}
+
+// Close fsyncs and closes the file. Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Stats returns a snapshot of the log's counters.
+func (w *WAL) Stats() Stats {
+	return Stats{
+		Appends:          w.appends.Load(),
+		AppendedBytes:    w.appendedBytes.Load(),
+		SizeBytes:        w.sizeBytes.Load(),
+		ReplayedRecords:  w.replayed.Load(),
+		TruncatedRecords: w.truncated.Load(),
+	}
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// SetFailPoint arms a crash-injection point: the n-th subsequent Append
+// (1 = the next one) writes only the first torn bytes of its frame,
+// skips the fsync, and returns ErrInjectedCrash. Crash-recovery property
+// tests use it to produce every possible torn-tail state
+// deterministically.
+func (w *WAL) SetFailPoint(n, torn int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.failAfter = n
+	w.failTorn = torn
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func appendBE32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

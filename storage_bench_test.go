@@ -1,0 +1,182 @@
+// Durable-tier benchmarks and the BENCH_storage.json emit.
+//
+// BenchmarkWALAppend prices the commit pipeline's durability step — one
+// fsynced WAL append per batch — and BenchmarkRecovery prices bringing a
+// crashed store back (segment load + WAL-tail replay through normal
+// admission). TestStorageBenchEmit measures the same paths once and,
+// when STORAGE_BENCH_JSON names a path, writes the perf trajectory
+// there; CI compares it against bench/BENCH_storage.json and fails past
+// +25% (tools/benchcmp).
+//
+// Emitted lower-is-better fields:
+//
+//	wal.append_ns              — one committed single-op batch (fsync included)
+//	wal.frame_bytes            — bytes a one-op batch occupies on the log
+//	recovery.open_ns           — full Open of a crashed store (segment + tail)
+//	recovery.per_record_ns     — open cost divided over the replayed records
+//	checkpoint.compact_ns      — Compact: freeze + segment write + WAL reset
+//	checkpoint.segment_bytes   — size of the sealed segment
+package bcq
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// durableBenchStore seeds a durable live store in a fresh directory.
+func durableBenchStore(tb testing.TB, dir string) *LiveDatabase {
+	tb.Helper()
+	_, acc, db := buildDurableScene(tb)
+	ld, err := NewLiveDatabase(db, acc, LiveOptions{Dir: dir})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ld
+}
+
+// benchOp returns the i-th single-insert batch (distinct tuples, so no
+// batch is a no-op duplicate).
+func benchOp(i int) []LiveOp {
+	return []LiveOp{InsertOp("in_album", Tuple{Str(fmt.Sprintf("bench-p%d", i)), Str("bench-album")})}
+}
+
+// BenchmarkWALAppend measures one committed batch through the durable
+// commit pipeline: validate, WAL append, fsync, publish.
+func BenchmarkWALAppend(b *testing.B) {
+	ld := durableBenchStore(b, b.TempDir())
+	defer ld.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ld.Apply(benchOp(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures Open on a crashed store: each iteration
+// seeds a directory, commits recoveryRecords batches, abandons the store
+// without Close, and times the reopen (segment load + full tail replay).
+func BenchmarkRecovery(b *testing.B) {
+	const recoveryRecords = 128
+	cat, acc, _ := buildDurableScene(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := filepath.Join(b.TempDir(), fmt.Sprintf("store%d", i))
+		ld := durableBenchStore(b, dir)
+		for j := 0; j < recoveryRecords; j++ {
+			if _, err := ld.Apply(benchOp(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Crash: abandon without Close so the WAL tail stays unreplayed.
+		b.StartTimer()
+		re, rec, err := OpenLiveDatabase(dir, cat, acc, LiveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if rec.ReplayedOps != recoveryRecords {
+			b.Fatalf("replayed %d ops, want %d", rec.ReplayedOps, recoveryRecords)
+		}
+		re.Close()
+	}
+}
+
+// TestStorageBenchEmit measures the durable tier's guardrail paths once
+// and asserts their sanity (every record replays, the checkpoint resets
+// the WAL); with STORAGE_BENCH_JSON set the measurements are written
+// there (BENCH_storage.json in CI) so the perf trajectory records.
+func TestStorageBenchEmit(t *testing.T) {
+	const appends = 256
+	cat, acc, _ := buildDurableScene(t)
+	dir := filepath.Join(t.TempDir(), "store")
+	ld := durableBenchStore(t, dir)
+
+	start := time.Now()
+	for i := 0; i < appends; i++ {
+		if _, err := ld.Apply(benchOp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendNS := time.Since(start).Nanoseconds() / appends
+	ws := ld.WAL().Stats()
+	if ws.Appends != appends {
+		t.Fatalf("WAL holds %d appends, want %d", ws.Appends, appends)
+	}
+	frameBytes := ws.AppendedBytes / appends
+
+	// Crash (no Close) and time the recovery.
+	start = time.Now()
+	re, rec, err := OpenLiveDatabase(dir, cat, acc, LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	openNS := time.Since(start).Nanoseconds()
+	if rec.ReplayedOps != appends {
+		t.Fatalf("recovery replayed %d ops, want %d", rec.ReplayedOps, appends)
+	}
+
+	// Checkpoint: freeze + segment write + WAL reset.
+	start = time.Now()
+	if _, err := re.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	compactNS := time.Since(start).Nanoseconds()
+	if re.WAL().HasRecords() {
+		t.Fatal("checkpoint left WAL records behind")
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.bcq"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("checkpoint wrote no segment (err %v)", err)
+	}
+	var segBytes int64
+	for _, s := range segs {
+		info, err := os.Stat(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() > segBytes {
+			segBytes = info.Size()
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("wal append %s/op (%d B frame); recovery of %d records %s (%s/record); checkpoint %s (%d B segment)",
+		time.Duration(appendNS), frameBytes, appends, time.Duration(openNS),
+		time.Duration(openNS/appends), time.Duration(compactNS), segBytes)
+
+	if path := os.Getenv("STORAGE_BENCH_JSON"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		doc := map[string]map[string]int64{
+			"wal": {
+				"append_ns":   appendNS,
+				"frame_bytes": frameBytes,
+			},
+			"recovery": {
+				"records":       appends,
+				"open_ns":       openNS,
+				"per_record_ns": openNS / appends,
+			},
+			"checkpoint": {
+				"compact_ns":    compactNS,
+				"segment_bytes": segBytes,
+			},
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
