@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bcq/internal/live"
+	"bcq/internal/plan"
+	"bcq/internal/schema"
+	"bcq/internal/storage"
+	"bcq/internal/value"
+)
+
+// tieredScene builds a live store over r(a, b) that is effectively
+// bounded from the start (r: (a) -> (b, N)), holding the fixed answer
+// group a=1 -> {10, 11}, under an engine in the given planning mode.
+func tieredScene(t testing.TB, mode PlanMode) (*live.Store, *Engine) {
+	t.Helper()
+	r, err := schema.NewRelation("r", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := schema.NewCatalog(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := schema.NewAccessSchema(schema.MustAccessConstraint("r", []string{"a"}, []string{"b"}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat)
+	for _, b := range []int64{10, 11} {
+		if err := db.Insert("r", value.Tuple{value.Int(1), value.Int(b)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls, err := live.New(db, acc, live.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewLive(ls, Options{PlanMode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls, e
+}
+
+const tieredQuery = `select b from r where a = 1`
+
+// TestTieredPrepareServesGreedyThenUpgrades is the tiered mode's basic
+// contract: a cold prepare returns the greedy tier immediately, the
+// background worker installs the optimized tier into the same Prepared,
+// answers are identical across the swap, and the later cache hit serves
+// the upgraded plan without re-enqueueing.
+func TestTieredPrepareServesGreedyThenUpgrades(t *testing.T) {
+	_, _, e := socialEngine(t, Options{PlanMode: PlanTiered})
+
+	if got := e.PlanMode(); got != PlanTiered {
+		t.Fatalf("PlanMode() = %v, want tiered", got)
+	}
+
+	// Gate the upgrade worker so the greedy window is observable.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls int32
+	e.upgradeHook = func(string) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			close(entered)
+			<-release
+		}
+	}
+
+	prep, err := e.Prepare(socialQ0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if got := prep.PlanTier(); got != plan.TierGreedy {
+		t.Fatalf("cold prepare tier = %q, want greedy", got)
+	}
+	if n := e.PendingUpgrades(); n != 1 {
+		t.Fatalf("PendingUpgrades = %d, want 1", n)
+	}
+	greedy, err := prep.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	close(release)
+	e.DrainUpgrades()
+
+	if got := prep.PlanTier(); got != plan.TierOptimized {
+		t.Fatalf("post-upgrade tier = %q, want optimized", got)
+	}
+	st := e.Stats()
+	if st.Upgrades != 1 || st.UpgradesDiscarded != 0 || st.UpgradesPending != 0 {
+		t.Fatalf("upgrade stats = %d installed / %d discarded / %d pending, want 1/0/0", st.Upgrades, st.UpgradesDiscarded, st.UpgradesPending)
+	}
+	upgraded, err := prep.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(upgraded.Tuples) != len(greedy.Tuples) {
+		t.Fatalf("answer count changed across upgrade: greedy %d, optimized %d", len(greedy.Tuples), len(upgraded.Tuples))
+	}
+	for i := range greedy.Tuples {
+		if !upgraded.Tuples[i].Equal(greedy.Tuples[i]) {
+			t.Fatalf("tuple %d changed across upgrade: %v vs %v", i, greedy.Tuples[i], upgraded.Tuples[i])
+		}
+	}
+
+	// The warm path serves the upgraded plan and does not re-queue.
+	again, err := e.Prepare(socialQ0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.PlanTier(); got != plan.TierOptimized {
+		t.Fatalf("warm prepare tier = %q, want optimized", got)
+	}
+	if st := e.Stats(); st.CacheHits == 0 || st.Upgrades != 1 {
+		t.Fatalf("warm prepare: stats = %+v, want a cache hit and still 1 upgrade", st)
+	}
+}
+
+// TestGreedyModeNeverUpgrades pins PlanGreedy down: the greedy tier is
+// served and no background work is queued, ever.
+func TestGreedyModeNeverUpgrades(t *testing.T) {
+	_, _, e := socialEngine(t, Options{PlanMode: PlanGreedy})
+	prep, err := e.Prepare(socialQ0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prep.PlanTier(); got != plan.TierGreedy {
+		t.Fatalf("tier = %q, want greedy", got)
+	}
+	if st := e.Stats(); st.Upgrades != 0 || st.UpgradesPending != 0 {
+		t.Fatalf("greedy mode queued background work: %+v", st)
+	}
+	if _, err := prep.Exec(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpgradeDiscardedAfterSchemaExtension is the stale-install
+// regression test: an upgrade whose build straddles an ExtendAccess must
+// not install the pre-extension plan. The first attempt is discarded on
+// the version check and the retry installs a schema-current optimized
+// plan, so prepare -> extend -> upgrade-completes -> exec never executes
+// a plan built against a retracted schema.
+func TestUpgradeDiscardedAfterSchemaExtension(t *testing.T) {
+	ls, e := tieredScene(t, PlanTiered)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls int32
+	e.upgradeHook = func(string) {
+		// Block attempt 1 between its version/schema read and its build;
+		// the retry passes straight through.
+		if atomic.AddInt32(&calls, 1) == 1 {
+			close(entered)
+			<-release
+		}
+	}
+
+	prep, err := e.Prepare(tieredQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prep.PlanTier(); got != plan.TierGreedy {
+		t.Fatalf("cold prepare tier = %q, want greedy", got)
+	}
+
+	// Land a schema extension inside the upgrade's build window.
+	<-entered
+	if err := ls.ExtendAccess(schema.MustAccessConstraint("r", []string{"b"}, []string{"a"}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	e.DrainUpgrades()
+
+	st := e.Stats()
+	if st.UpgradesDiscarded != 1 {
+		t.Fatalf("UpgradesDiscarded = %d, want 1 (the pre-extension build)", st.UpgradesDiscarded)
+	}
+	if st.Upgrades != 1 {
+		t.Fatalf("Upgrades = %d, want 1 (the schema-current retry)", st.Upgrades)
+	}
+	if got := prep.PlanTier(); got != plan.TierOptimized {
+		t.Fatalf("post-upgrade tier = %q, want optimized", got)
+	}
+	res, err := prep.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 2 || res.Tuples[0][0] != value.Int(10) || res.Tuples[1][0] != value.Int(11) {
+		t.Fatalf("answers = %v, want (10) and (11)", res.Tuples)
+	}
+}
+
+// TestTieredExecRaceDuringUpgradeAndReplan hammers the plan-swap windows
+// under the race detector: executors run a fixed-answer query in a loop
+// while an ingester drifts the statistics of other groups (forcing
+// hit-path drift re-plans) and the background worker installs upgrades.
+// Every execution, whichever plan generation it lands on, must produce
+// exactly the fixed answer set.
+func TestTieredExecRaceDuringUpgradeAndReplan(t *testing.T) {
+	ls, e := tieredScene(t, PlanTiered)
+
+	const (
+		executors = 4
+		iters     = 150
+	)
+	var (
+		execWG, ingestWG sync.WaitGroup
+		mu               sync.Mutex
+		failure          string
+	)
+	fail := func(msg string) {
+		mu.Lock()
+		if failure == "" {
+			failure = msg
+		}
+		mu.Unlock()
+	}
+	stop := make(chan struct{})
+
+	// Ingester: grow groups a >= 2 so cardinalities drift while plans swap.
+	ingestWG.Add(1)
+	go func() {
+		defer ingestWG.Done()
+		// Spread over many groups and cap the volume so no group ever
+		// approaches the N=100 bound.
+		for i := int64(0); i < 20000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := ls.Insert("r", value.Tuple{value.Int(2 + i%997), value.Int(1000 + i)}); err != nil {
+				fail("insert: " + err.Error())
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < executors; g++ {
+		execWG.Add(1)
+		go func() {
+			defer execWG.Done()
+			for i := 0; i < iters; i++ {
+				prep, err := e.Prepare(tieredQuery)
+				if err != nil {
+					fail("prepare: " + err.Error())
+					return
+				}
+				res, err := prep.Exec()
+				if err != nil {
+					fail("exec: " + err.Error())
+					return
+				}
+				if len(res.Tuples) != 2 || res.Tuples[0][0] != value.Int(10) || res.Tuples[1][0] != value.Int(11) {
+					fail("unexpected answers for a=1: " + res.Tuples[0].String())
+					return
+				}
+			}
+		}()
+	}
+
+	execWG.Wait()
+	close(stop)
+	ingestWG.Wait()
+	e.DrainUpgrades()
+
+	if failure != "" {
+		t.Fatal(failure)
+	}
+	// After the dust settles the live plan still answers correctly.
+	prep, err := e.Prepare(tieredQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prep.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 2 {
+		t.Fatalf("final answers = %v, want exactly (10) and (11)", res.Tuples)
+	}
+}

@@ -1,0 +1,197 @@
+package engine
+
+// Background plan upgrading: the tiered planning mode's second half.
+//
+// A tiered engine answers cold prepares with the greedy plan tier
+// (plan.OptimizeGreedy — no branch-and-bound search, so prepare latency
+// stays flat as query shapes get bigger) and enqueues the fingerprint
+// here. A single background worker then runs the full Optimize pipeline
+// and installs the result into the live Prepared *in place*, through the
+// same atomic planState publication the drift re-plan path uses — every
+// caller holding the Prepared sees the optimized plan on its next
+// execution, with no cache round-trip.
+//
+// Installation is guarded, not unconditional. An upgrade built against
+// state that moved while it was running must be discarded — installing
+// it would resurrect a plan the engine already decided is stale:
+//
+//   - schema version: if Source.Version advanced since the worker read
+//     the access schema (ExtendAccess landed mid-build), the build is
+//     discarded and retried once against the new schema, so the
+//     installed plan is always schema-current;
+//   - cache identity: if the cache no longer maps the fingerprint to the
+//     same Prepared (drift re-plan replaced it, LRU evicted it), the
+//     upgrade's target is unreachable by future prepares — discard;
+//   - statistics: if the store's cardinality fingerprint over the new
+//     plan's constraints already differs from the one it was costed
+//     against, installing it would immediately re-trigger the hit-path
+//     drift check — discard and let that machinery re-plan on demand.
+
+const (
+	// maxUpgradeQueue bounds the pending-upgrade queue; prepares past the
+	// bound simply keep their greedy plan until a later prepare re-enqueues
+	// (the upgrade path is an optimization, never a correctness need).
+	maxUpgradeQueue = 256
+	// upgradeAttempts bounds the retry-on-version-advance loop so a
+	// schema-extension storm cannot pin the worker on one fingerprint.
+	upgradeAttempts = 2
+)
+
+// PlanMode selects the engine's cold-prepare planning tier.
+type PlanMode int
+
+const (
+	// PlanOptimized (the default) runs the full branch-and-bound search on
+	// every cold prepare — PR 5's behaviour.
+	PlanOptimized PlanMode = iota
+	// PlanGreedy always serves the greedy tier and never upgrades:
+	// minimal planning latency, estimates only as good as greedy ordering.
+	PlanGreedy
+	// PlanTiered serves cold prepares from the greedy tier and upgrades
+	// cached plans to the optimized tier in the background.
+	PlanTiered
+)
+
+// String renders the mode for /stats and CLI output.
+func (m PlanMode) String() string {
+	switch m {
+	case PlanGreedy:
+		return "greedy"
+	case PlanTiered:
+		return "tiered"
+	default:
+		return "optimized"
+	}
+}
+
+// upgradeTask is one pending background upgrade: the cache fingerprint
+// and the exact Prepared the greedy plan was installed into. Holding the
+// Prepared (not just the fingerprint) lets installation verify it is
+// still the cached one.
+type upgradeTask struct {
+	fp   string
+	prep *Prepared
+}
+
+// enqueueUpgradeLocked queues a fingerprint for background optimization.
+// Caller holds e.mu. Enqueueing is singleflight per fingerprint (a
+// re-prepared shape does not double-queue) and drops past the queue
+// bound — the greedy plan stays correct, so shedding is safe.
+func (e *Engine) enqueueUpgradeLocked(fp string, prep *Prepared) {
+	if e.upgrading[fp] || len(e.upgradeQueue) >= maxUpgradeQueue {
+		return
+	}
+	e.upgrading[fp] = true
+	e.upgradeQueue = append(e.upgradeQueue, upgradeTask{fp: fp, prep: prep})
+	e.upgradePending++
+	if !e.upgradeWorkerLive {
+		e.upgradeWorkerLive = true
+		go e.runUpgrades()
+	}
+}
+
+// runUpgrades drains the upgrade queue one task at a time, then exits:
+// the worker is started lazily per burst, so an idle engine holds no
+// goroutine and tests never leak one.
+func (e *Engine) runUpgrades() {
+	for {
+		e.mu.Lock()
+		if len(e.upgradeQueue) == 0 {
+			e.upgradeWorkerLive = false
+			e.mu.Unlock()
+			return
+		}
+		t := e.upgradeQueue[0]
+		e.upgradeQueue = e.upgradeQueue[1:]
+		e.mu.Unlock()
+
+		e.upgradeOne(t)
+
+		e.mu.Lock()
+		delete(e.upgrading, t.fp)
+		e.upgradePending--
+		if e.upgradePending == 0 {
+			e.upgradeCond.Broadcast()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// upgradeOne builds the optimized tier for one cached plan and installs
+// it if — and only if — the world it was built against still holds at
+// install time (see the package comment above for the three checks). A
+// version advance retries once against the fresh schema, so a prepare →
+// ExtendAccess → upgrade-completes interleaving still ends with a
+// schema-current optimized plan installed.
+func (e *Engine) upgradeOne(t upgradeTask) {
+	for attempt := 0; attempt < upgradeAttempts; attempt++ {
+		// Version before schema, same ordering discipline as prepare: if an
+		// extension lands between the reads, the version check below fails
+		// and the retry sees both fresh.
+		ver := e.src.Version()
+		acc := e.src.Access()
+		if h := e.upgradeHook; h != nil {
+			h(t.fp)
+		}
+		st, err := e.buildState(t.prep.query, acc, true)
+		if err != nil {
+			// The shape no longer plans (a schema change mid-flight can do
+			// that); the greedy plan in place stays valid for the schema it
+			// was built under, and the error cache owns future verdicts.
+			e.upgradesDiscarded.Add(1)
+			return
+		}
+
+		e.mu.Lock()
+		if cur, ok := e.cache.Get(t.fp); !ok || cur.prep != t.prep {
+			// Drift re-plan or eviction replaced the entry while we built:
+			// our target is no longer what prepares resolve, so installing
+			// into it would be at best invisible, at worst a resurrection.
+			e.mu.Unlock()
+			e.upgradesDiscarded.Add(1)
+			return
+		}
+		if e.src.Version() != ver {
+			// Schema moved under the build (ExtendAccess): the plan may be
+			// built against a retracted view of the schema. Discard and
+			// retry against the current one.
+			e.mu.Unlock()
+			e.upgradesDiscarded.Add(1)
+			continue
+		}
+		if fp := e.src.CardStats().Fingerprint(st.acKeys); fp != st.statsFP {
+			// Statistics drifted during the build; the hit-path drift check
+			// owns re-planning, and it compares against the *installed*
+			// fingerprint — installing a known-drifted one would thrash.
+			e.mu.Unlock()
+			e.upgradesDiscarded.Add(1)
+			return
+		}
+		t.prep.state.Store(st)
+		e.upgrades.Add(1)
+		e.mu.Unlock()
+		return
+	}
+}
+
+// PlanMode reports the engine's planning mode.
+func (e *Engine) PlanMode() PlanMode { return e.mode }
+
+// PendingUpgrades reports how many background upgrades are queued or in
+// flight right now.
+func (e *Engine) PendingUpgrades() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.upgradePending
+}
+
+// DrainUpgrades blocks until every queued background upgrade has been
+// installed or discarded. Tests and one-shot CLI runs use it to make the
+// tiered mode deterministic; a serving engine never needs to call it.
+func (e *Engine) DrainUpgrades() {
+	e.mu.Lock()
+	for e.upgradePending > 0 {
+		e.upgradeCond.Wait()
+	}
+	e.mu.Unlock()
+}

@@ -37,9 +37,17 @@ import (
 func QPlan(an *core.Analysis) (*Plan, error) {
 	eb, trivial, err := analyze(an)
 	if trivial != nil || err != nil {
+		if trivial != nil {
+			trivial.Tier = TierNaive
+		}
 		return trivial, err
 	}
-	return emit(an, eb, derivationSeq(eb), naiveWitness(an))
+	p, err := emit(an, eb, derivationSeq(eb), naiveWitness(an))
+	if err != nil {
+		return nil, err
+	}
+	p.Tier = TierNaive
+	return p, nil
 }
 
 // analyze runs the shared front half of both planners: the trivial

@@ -4,10 +4,30 @@
 // declared bounds mislead, and reports the planning overhead itself.
 // CI runs it once per change; a regression shows up as the cost variant
 // losing its margin over naive (or planning time exploding).
+//
+// TestPlannerBenchEmit measures the same planning paths once — naive,
+// greedy tier, full optimization — asserts the tiered mode's premise
+// (the greedy tier plans strictly faster than the full optimizer), and,
+// when PLANNER_BENCH_JSON names a path, writes the perf trajectory
+// there; CI compares it against bench/BENCH_planner.json and fails past
+// +25% (tools/benchcmp).
+//
+// Emitted lower-is-better fields:
+//
+//	plan.naive_ns      — QPlan: derivation order, no cost model
+//	plan.greedy_ns     — OptimizeGreedy: what a tiered cold prepare pays
+//	plan.optimize_ns   — Optimize: greedy + branch-and-bound search
+//
+// The fetched counts (no checked suffix, informational) record that the
+// greedy tier's fetch volume sits between naive and optimized on Q3.
 package bcq
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
 	"testing"
+	"time"
 )
 
 func BenchmarkPlanner(b *testing.B) {
@@ -59,6 +79,13 @@ func BenchmarkPlanner(b *testing.B) {
 			}
 		}
 	})
+	b.Run("plan/greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.GreedyPlan(&cs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("plan/cost", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := a.OptimizedPlan(&cs); err != nil {
@@ -66,4 +93,113 @@ func BenchmarkPlanner(b *testing.B) {
 			}
 		}
 	})
+}
+
+func TestPlannerBenchEmit(t *testing.T) {
+	cat, acc, db := ordersScene(t)
+	if err := db.EnsureIndexes(acc); err != nil {
+		t.Fatal(err)
+	}
+	cs := db.CardStats()
+	// Planning latency is measured on the 6-atom Q6, where the
+	// branch-and-bound search space is real; fetch volumes are recorded
+	// on the canonical Q3 scene so the trajectory stays comparable with
+	// BenchmarkPlanner.
+	q := readQuery(t, "testdata/q6.sql", cat)
+	a, err := Analyze(cat, q, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Min-of-rounds keeps the per-op numbers stable on a noisy machine.
+	const (
+		rounds = 5
+		iters  = 200
+	)
+	measure := func(f func() error) int64 {
+		t.Helper()
+		best := int64(0)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := f(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ns := time.Since(start).Nanoseconds() / iters
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	naiveNS := measure(func() error { _, err := a.Plan(); return err })
+	greedyNS := measure(func() error { _, err := a.GreedyPlan(&cs); return err })
+	optNS := measure(func() error { _, err := a.OptimizedPlan(&cs); return err })
+
+	// The tiered mode's premise: a cold prepare on the greedy tier pays
+	// measurably less planning latency than the full optimizer — greedy
+	// is a strict subset of Optimize's work (no branch-and-bound search).
+	if greedyNS >= optNS {
+		t.Errorf("greedy tier planned in %s, full optimizer in %s — greedy must be measurably faster", time.Duration(greedyNS), time.Duration(optNS))
+	}
+
+	// Fetch volumes across tiers on Q3, for the emitted record.
+	a, err = Analyze(cat, readQuery(t, "testdata/q3.sql", cat), acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := a.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := a.GreedyPlan(&cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := a.OptimizedPlan(&cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetched := func(p *Plan) int64 {
+		t.Helper()
+		res, err := Execute(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.TuplesFetched
+	}
+	naiveF, greedyF, optF := fetched(naive), fetched(greedy), fetched(opt)
+	if optF > greedyF {
+		t.Errorf("optimized plan fetched %d > greedy tier %d on q3", optF, greedyF)
+	}
+
+	t.Logf("plan: naive %s, greedy %s, optimize %s; fetched: naive %d, greedy %d, optimized %d",
+		time.Duration(naiveNS), time.Duration(greedyNS), time.Duration(optNS), naiveF, greedyF, optF)
+
+	if path := os.Getenv("PLANNER_BENCH_JSON"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		doc := map[string]map[string]int64{
+			"plan": {
+				"naive_ns":    naiveNS,
+				"greedy_ns":   greedyNS,
+				"optimize_ns": optNS,
+			},
+			"exec": {
+				"naive_fetched":     naiveF,
+				"greedy_fetched":    greedyF,
+				"optimized_fetched": optF,
+			},
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
 }

@@ -1,0 +1,10 @@
+query Q6:
+select t2.oid, t3.cat, t5.oid, t6.cat
+from users as t1, orders as t2, items as t3, users as t4, orders as t5, items as t6
+where t1.region = 'r1'
+  and t1.tier = 55
+  and t1.uid = t2.uid
+  and t2.item = t3.item
+  and t4.tier = 55
+  and t4.uid = t5.uid
+  and t5.item = t6.item
